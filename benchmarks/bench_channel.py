@@ -1,0 +1,40 @@
+"""Microbenchmarks of the flash channel simulator and dataset pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_paired_dataset
+from repro.flash import BlockGeometry, FlashChannel
+
+
+@pytest.mark.benchmark(group="channel")
+def test_channel_block_read_throughput(benchmark):
+    """Time a full-block (64x64) read including ICI and noise sampling."""
+    channel = FlashChannel(rng=np.random.default_rng(0))
+    program = channel.program_random_block()
+    voltages = benchmark(channel.read, program, 7000)
+    assert voltages.shape == (64, 64)
+
+
+@pytest.mark.benchmark(group="channel")
+def test_channel_batched_read_throughput(benchmark):
+    """Time reading a batch of 32 blocks at once."""
+    channel = FlashChannel(rng=np.random.default_rng(1))
+    program = np.stack([channel.program_random_block() for _ in range(32)])
+    voltages = benchmark(channel.read, program, 10000)
+    assert voltages.shape == (32, 64, 64)
+
+
+@pytest.mark.benchmark(group="channel")
+def test_dataset_generation_throughput(benchmark):
+    """Time generating a 90-array paired dataset (30 arrays per read point)."""
+    channel = FlashChannel(geometry=BlockGeometry(64, 64),
+                           rng=np.random.default_rng(2))
+    dataset = benchmark.pedantic(
+        generate_paired_dataset, args=(channel,),
+        kwargs={"pe_cycles": (4000, 7000, 10000), "arrays_per_pe": 30,
+                "array_size": 16},
+        rounds=1, iterations=1)
+    assert len(dataset) == 90

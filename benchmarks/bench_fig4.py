@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 4: conditional PDFs, measured vs cVAE-GAN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig4
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_conditional_pdfs(benchmark, results_dir, setup, trained_cvae_gan,
+                               evaluation_arrays):
+    """Fig. 4: per-level PDFs of measured vs regenerated voltages."""
+
+    def regenerate():
+        return run_fig4(evaluation_arrays, trained_cvae_gan, bins=120)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_result(results_dir, "fig4.txt", result.format())
+
+    rows = result.rows()
+    # Observation 1 of the paper: measured peaks drop as P/E grows.
+    for level in range(1, 8):
+        peaks = {row["pe_cycles"]: row["measured_peak"]
+                 for row in rows if row["level"] == level}
+        assert peaks[10000] < peaks[4000]
+    # The modeled distributions must be centred well enough that the
+    # per-level TV distance stays below 1 (disjoint supports would give 1.0).
+    assert all(row["tv_distance"] < 0.98 for row in rows)
+    # Modeled widths must grow with P/E for most levels (temporal control).
+    growing = sum(1 for level in range(1, 8)
+                  if ({row["pe_cycles"]: row["modeled_width"]
+                       for row in rows if row["level"] == level}[10000]
+                      > {row["pe_cycles"]: row["modeled_width"]
+                         for row in rows if row["level"] == level}[4000]))
+    assert growing >= 4

@@ -1,0 +1,52 @@
+"""Benchmark: information content of the channel versus P/E cycles.
+
+Not a paper figure; an extension study that condenses the channel's health
+into scalar information rates — the quantity a coding theorist reads off a
+channel model — and measures what hard reads and multi-read soft sensing
+preserve of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    channel_capacity_estimate,
+    format_table,
+    hard_decision_mutual_information,
+    soft_read_mutual_information,
+)
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="information")
+def test_channel_information_vs_pe_cycles(benchmark, results_dir, setup):
+    """Soft capacity, hard-read and 3-read mutual information per read point."""
+    channel = setup.channel
+
+    def evaluate():
+        rows = []
+        for pe_cycles in setup.pe_cycles:
+            program, voltages = channel.paired_blocks(4, pe_cycles)
+            rows.append({
+                "pe_cycles": pe_cycles,
+                "soft_capacity_bits": channel_capacity_estimate(
+                    program, voltages, params=setup.params),
+                "hard_read_bits": hard_decision_mutual_information(
+                    program, voltages, params=setup.params),
+                "three_read_bits": soft_read_mutual_information(
+                    program, voltages, num_reads_per_boundary=3,
+                    params=setup.params)})
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    write_result(results_dir, "information_vs_pe.txt",
+                 format_table(rows, float_format="{:.4f}"))
+
+    # Information decreases with wear and quantisation loses information.
+    capacities = [row["soft_capacity_bits"] for row in rows]
+    assert capacities == sorted(capacities, reverse=True)
+    for row in rows:
+        assert row["hard_read_bits"] <= row["three_read_bits"] + 1e-6
+        assert row["three_read_bits"] <= row["soft_capacity_bits"] + 1e-6

@@ -1,0 +1,62 @@
+"""Microbenchmarks of the NumPy deep-learning framework and training step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, Trainer, build_model
+from repro.data import generate_paired_dataset
+from repro.flash import BlockGeometry, FlashChannel
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.mark.benchmark(group="nn")
+def test_conv2d_forward_backward(benchmark):
+    """Time a forward+backward pass of a paper-scale C64 convolution."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((2, 1, 64, 64)), requires_grad=True)
+    w = Tensor(rng.standard_normal((64, 1, 4, 4)) * 0.02, requires_grad=True)
+
+    def step():
+        out = F.conv2d(x, w, stride=2, padding=1)
+        loss = (out * out).mean()
+        x.zero_grad()
+        w.zero_grad()
+        loss.backward()
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+@pytest.mark.benchmark(group="nn")
+def test_generator_forward(benchmark):
+    """Time one small-config U-Net generator forward pass."""
+    config = ModelConfig.small(16)
+    from repro.core import UNetGenerator
+    generator = UNetGenerator(config, rng=np.random.default_rng(1))
+    generator.eval()
+    rng = np.random.default_rng(2)
+    program = Tensor(rng.uniform(-1, 1, size=(4, 1, 16, 16)))
+    latent = Tensor(rng.standard_normal((4, config.latent_dim)))
+    pe = np.full(4, 0.7)
+    out = benchmark(generator, program, pe, latent)
+    assert out.shape == (4, 1, 16, 16)
+
+
+@pytest.mark.benchmark(group="training")
+def test_cvae_gan_training_step(benchmark):
+    """Time one full cVAE-GAN optimisation step (D step + G/E step)."""
+    channel = FlashChannel(geometry=BlockGeometry(32, 32),
+                           rng=np.random.default_rng(3))
+    dataset = generate_paired_dataset(channel, pe_cycles=(4000, 10000),
+                                      arrays_per_pe=16, array_size=16)
+    config = ModelConfig.small(16, batch_size=8)
+    model = build_model("cvae_gan", config, rng=np.random.default_rng(4))
+    trainer = Trainer(model, dataset, rng=np.random.default_rng(5))
+    batch = dataset[0:8]
+
+    stats = benchmark(trainer.train_step, *batch)
+    assert "g_total" in stats and "d_total" in stats

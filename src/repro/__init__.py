@@ -1,0 +1,33 @@
+"""Reproduction of "Spatio-Temporal Modeling for Flash Memory Channels Using
+Conditional Generative Nets" (DATE 2023).
+
+The package is organised as a stack of subsystems:
+
+``repro.nn``
+    A from-scratch NumPy deep-learning framework (autograd, conv layers,
+    optimizers) used to build the generative models.
+``repro.flash``
+    A TLC NAND flash channel simulator providing the "measured" data the paper
+    collected from a commercial chip (see DESIGN.md for the substitution).
+``repro.data``
+    Dataset generation: paired (program level, voltage level, P/E cycle)
+    arrays, cropping, normalisation and batching.
+``repro.baselines``
+    Classical statistical channel models (Gaussian, Normal-Laplace, Student's
+    t) fitted with a from-scratch Nelder-Mead simplex.
+``repro.core``
+    The paper's contribution: the conditional VAE-GAN and the comparator
+    architectures (cGAN, cVAE, BicycleGAN), with spatio-temporal P/E
+    conditioning.
+``repro.eval``
+    Evaluation metrics: conditional PDFs, divergences, level error counts and
+    ICI pattern analysis.
+``repro.coding``
+    ICI-mitigating constrained coding built on top of the channel model.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,51 @@
+"""Classical statistical flash-channel models used as baselines in Fig. 5.
+
+The paper compares its generative model against three state-of-the-art
+statistical models of the per-level read-voltage distribution:
+
+* the Gaussian model of Cai et al. (DATE 2013),
+* the Normal-Laplace model of Parnell et al. (GLOBECOM 2014), and
+* the Student's t model of Luo et al. (JSAC 2016),
+
+each fitted to the measured per-level distributions by minimising the KL
+divergence with the Nelder-Mead simplex method, as described in Section IV-A.
+"""
+
+from repro.baselines.neldermead import nelder_mead, NelderMeadResult
+from repro.baselines.distributions import (
+    gaussian_pdf,
+    normal_laplace_pdf,
+    students_t_pdf,
+    sample_gaussian,
+    sample_normal_laplace,
+    sample_students_t,
+)
+from repro.baselines.fitting import (
+    fit_level_distribution,
+    kl_divergence_to_histogram,
+)
+from repro.baselines.models import (
+    StatisticalChannelModel,
+    GaussianChannelModel,
+    NormalLaplaceChannelModel,
+    StudentsTChannelModel,
+    BASELINE_MODELS,
+)
+
+__all__ = [
+    "nelder_mead",
+    "NelderMeadResult",
+    "gaussian_pdf",
+    "normal_laplace_pdf",
+    "students_t_pdf",
+    "sample_gaussian",
+    "sample_normal_laplace",
+    "sample_students_t",
+    "fit_level_distribution",
+    "kl_divergence_to_histogram",
+    "StatisticalChannelModel",
+    "GaussianChannelModel",
+    "NormalLaplaceChannelModel",
+    "StudentsTChannelModel",
+    "BASELINE_MODELS",
+]

@@ -1,0 +1,130 @@
+"""Fitting the baseline distributions to measured per-level histograms.
+
+Following Section IV-A of the paper, each statistical distribution is fitted
+to the measured conditional distribution of one program level at one P/E
+cycle count by minimising the KL divergence ``D_KL(P_real || P_fake)`` with
+the Nelder-Mead simplex method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.distributions import (
+    gaussian_pdf,
+    normal_laplace_pdf,
+    students_t_pdf,
+)
+from repro.baselines.neldermead import nelder_mead
+
+__all__ = ["kl_divergence_to_histogram", "fit_level_distribution"]
+
+_EPS = 1e-12
+
+
+def kl_divergence_to_histogram(bin_centers: np.ndarray,
+                               probabilities: np.ndarray,
+                               pdf: Callable[[np.ndarray], np.ndarray]) -> float:
+    """KL divergence from a histogram to a parametric density.
+
+    The parametric density is evaluated at the bin centres and renormalised
+    over the histogram support, so the result is the discrete KL divergence
+    ``sum_i p_i log(p_i / q_i)`` between the two probability vectors.
+    """
+    bin_centers = np.asarray(bin_centers, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if bin_centers.shape != probabilities.shape:
+        raise ValueError("bin_centers and probabilities must share a shape")
+    if probabilities.sum() <= 0:
+        raise ValueError("histogram probabilities must have positive mass")
+    p = probabilities / probabilities.sum()
+    q = np.maximum(pdf(bin_centers), 0.0)
+    total = q.sum()
+    if not np.isfinite(total) or total <= 0:
+        return float("inf")
+    q = q / total
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], _EPS))))
+
+
+def _histogram_moments(bin_centers: np.ndarray,
+                       probabilities: np.ndarray) -> tuple[float, float]:
+    p = probabilities / probabilities.sum()
+    mean = float(np.sum(bin_centers * p))
+    variance = float(np.sum((bin_centers - mean) ** 2 * p))
+    return mean, np.sqrt(max(variance, 1e-6))
+
+
+def fit_level_distribution(bin_centers: np.ndarray, probabilities: np.ndarray,
+                           family: str,
+                           max_iterations: int = 400) -> dict[str, float]:
+    """Fit one distribution family to a per-level histogram.
+
+    Parameters
+    ----------
+    bin_centers, probabilities:
+        The measured conditional distribution of one program level (estimated
+        relative frequencies over a voltage grid).
+    family:
+        ``"gaussian"``, ``"normal_laplace"`` or ``"students_t"``.
+    max_iterations:
+        Nelder-Mead iteration budget.
+
+    Returns
+    -------
+    dict
+        The fitted parameters, plus ``"kl"`` — the achieved KL divergence.
+    """
+    bin_centers = np.asarray(bin_centers, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    mean, std = _histogram_moments(bin_centers, probabilities)
+
+    if family == "gaussian":
+        def objective(theta: np.ndarray) -> float:
+            mu, sigma = theta
+            if sigma <= 0:
+                return float("inf")
+            return kl_divergence_to_histogram(
+                bin_centers, probabilities,
+                lambda x: gaussian_pdf(x, mu, sigma))
+
+        result = nelder_mead(objective, [mean, std],
+                             max_iterations=max_iterations)
+        mu, sigma = result.x
+        return {"mu": float(mu), "sigma": float(sigma), "kl": result.fun}
+
+    if family == "normal_laplace":
+        def objective(theta: np.ndarray) -> float:
+            mu, sigma, alpha, beta = theta
+            if sigma <= 0 or alpha <= 0 or beta <= 0:
+                return float("inf")
+            return kl_divergence_to_histogram(
+                bin_centers, probabilities,
+                lambda x: normal_laplace_pdf(x, mu, sigma, alpha, beta))
+
+        initial = [mean, std * 0.8, 4.0 / std, 4.0 / std]
+        result = nelder_mead(objective, initial,
+                             max_iterations=max_iterations)
+        mu, sigma, alpha, beta = result.x
+        return {"mu": float(mu), "sigma": float(sigma), "alpha": float(alpha),
+                "beta": float(beta), "kl": result.fun}
+
+    if family == "students_t":
+        def objective(theta: np.ndarray) -> float:
+            mu, scale, dof = theta
+            if scale <= 0 or dof <= 0.5:
+                return float("inf")
+            return kl_divergence_to_histogram(
+                bin_centers, probabilities,
+                lambda x: students_t_pdf(x, mu, scale, dof))
+
+        initial = [mean, std * 0.9, 6.0]
+        result = nelder_mead(objective, initial,
+                             max_iterations=max_iterations)
+        mu, scale, dof = result.x
+        return {"mu": float(mu), "scale": float(scale), "dof": float(dof),
+                "kl": result.fun}
+
+    raise ValueError(f"unknown distribution family: {family!r}")

@@ -1,0 +1,135 @@
+"""The Nelder-Mead simplex method (Nelder & Mead, 1965).
+
+The paper fits the statistical baseline distributions by minimising the KL
+divergence "by using the Nelder-Mead simplex method"; this module provides a
+from-scratch implementation so the whole fitting pipeline is self-contained.
+It follows the standard adaptive formulation with reflection, expansion,
+outside/inside contraction and shrink steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["NelderMeadResult", "nelder_mead"]
+
+
+@dataclass
+class NelderMeadResult:
+    """Outcome of a Nelder-Mead minimisation."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    function_evaluations: int
+    converged: bool
+
+
+def _initial_simplex(x0: np.ndarray, step: float) -> np.ndarray:
+    """Axis-aligned initial simplex around ``x0``."""
+    dimension = x0.size
+    simplex = np.tile(x0, (dimension + 1, 1))
+    for index in range(dimension):
+        delta = step * max(abs(x0[index]), 1.0)
+        simplex[index + 1, index] += delta
+    return simplex
+
+
+def nelder_mead(func: Callable[[np.ndarray], float],
+                x0: Sequence[float],
+                max_iterations: int = 500,
+                xatol: float = 1e-6,
+                fatol: float = 1e-9,
+                initial_step: float = 0.05) -> NelderMeadResult:
+    """Minimise ``func`` starting from ``x0`` with the Nelder-Mead simplex.
+
+    Parameters
+    ----------
+    func:
+        Objective taking a 1-D parameter vector and returning a float.  Values
+        of ``inf`` are allowed and are used to express constraints.
+    x0:
+        Initial parameter vector.
+    max_iterations:
+        Iteration budget.
+    xatol, fatol:
+        Convergence tolerances on the simplex spread in parameter space and in
+        function value.
+    initial_step:
+        Relative size of the initial simplex edges.
+
+    Returns
+    -------
+    NelderMeadResult
+    """
+    x0 = np.asarray(x0, dtype=float).ravel()
+    if x0.size == 0:
+        raise ValueError("x0 must contain at least one parameter")
+
+    # Standard coefficients: reflection, expansion, contraction, shrink.
+    alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+
+    simplex = _initial_simplex(x0, initial_step)
+    values = np.array([func(vertex) for vertex in simplex], dtype=float)
+    evaluations = len(values)
+
+    iteration = 0
+    converged = False
+    for iteration in range(1, max_iterations + 1):
+        order = np.argsort(values)
+        simplex = simplex[order]
+        values = values[order]
+
+        spread_x = np.max(np.abs(simplex[1:] - simplex[0]))
+        spread_f = np.max(np.abs(values[1:] - values[0]))
+        if spread_x <= xatol and spread_f <= fatol:
+            converged = True
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + alpha * (centroid - worst)
+        reflected_value = func(reflected)
+        evaluations += 1
+
+        if values[0] <= reflected_value < values[-2]:
+            simplex[-1], values[-1] = reflected, reflected_value
+            continue
+
+        if reflected_value < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            expanded_value = func(expanded)
+            evaluations += 1
+            if expanded_value < reflected_value:
+                simplex[-1], values[-1] = expanded, expanded_value
+            else:
+                simplex[-1], values[-1] = reflected, reflected_value
+            continue
+
+        if reflected_value < values[-1]:
+            # Outside contraction.
+            contracted = centroid + rho * (reflected - centroid)
+        else:
+            # Inside contraction.
+            contracted = centroid - rho * (centroid - worst)
+        contracted_value = func(contracted)
+        evaluations += 1
+        if contracted_value < min(reflected_value, values[-1]):
+            simplex[-1], values[-1] = contracted, contracted_value
+            continue
+
+        # Shrink toward the best vertex.
+        for index in range(1, len(simplex)):
+            simplex[index] = simplex[0] + sigma * (simplex[index] - simplex[0])
+            values[index] = func(simplex[index])
+            evaluations += 1
+
+    best = int(np.argmin(values))
+    return NelderMeadResult(x=simplex[best].copy(), fun=float(values[best]),
+                            iterations=iteration,
+                            function_evaluations=evaluations,
+                            converged=converged)

@@ -1,0 +1,109 @@
+"""Capacity of ICI-avoiding constrained systems.
+
+A constrained code that forbids a set of 3-cell patterns along a bitline is a
+shift of finite type; its capacity (maximum achievable code rate in bits per
+cell) is ``log2`` of the spectral radius of the adjacency matrix of the
+corresponding de Bruijn-style state graph, whose states are pairs of
+consecutive program levels and whose edges ``(a, b) -> (b, c)`` exist unless
+``a b c`` is a forbidden pattern (Shannon's noiseless coding theorem for
+constrained channels).
+
+The capacity tells a code designer what rate penalty a given constraint
+costs; combined with the channel model's error statistics at each P/E count
+this is the quantitative basis of the "time-aware constrained codes" the
+paper motivates (see :mod:`repro.coding.time_aware`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import ERASED_LEVEL, NUM_LEVELS
+
+__all__ = [
+    "ici_forbidden_patterns",
+    "constraint_adjacency_matrix",
+    "constraint_capacity",
+    "ici_constraint_capacity",
+    "rate_penalty",
+]
+
+
+def ici_forbidden_patterns(high_level: int,
+                           victim_level: int = ERASED_LEVEL,
+                           num_levels: int = NUM_LEVELS
+                           ) -> list[tuple[int, int, int]]:
+    """All high-low-high patterns ``a v b`` with both neighbours >= high_level."""
+    if not 1 <= high_level < num_levels:
+        raise ValueError("high_level must lie in [1, num_levels)")
+    if not 0 <= victim_level < num_levels:
+        raise ValueError("victim_level must lie in [0, num_levels)")
+    return [(a, victim_level, b)
+            for a in range(high_level, num_levels)
+            for b in range(high_level, num_levels)]
+
+
+def constraint_adjacency_matrix(forbidden_patterns: list[tuple[int, int, int]],
+                                num_levels: int = NUM_LEVELS) -> np.ndarray:
+    """Adjacency matrix of the pair-state graph of a 3-cell constraint.
+
+    States are ordered pairs ``(a, b)`` of consecutive levels (``num_levels**2``
+    of them); the edge ``(a, b) -> (b, c)`` is present unless ``(a, b, c)`` is
+    forbidden.
+    """
+    if num_levels < 2:
+        raise ValueError("num_levels must be at least 2")
+    forbidden = set()
+    for pattern in forbidden_patterns:
+        if len(pattern) != 3:
+            raise ValueError("forbidden patterns must be 3-cell patterns")
+        a, b, c = (int(value) for value in pattern)
+        for value in (a, b, c):
+            if not 0 <= value < num_levels:
+                raise ValueError("pattern levels must lie in [0, num_levels)")
+        forbidden.add((a, b, c))
+
+    size = num_levels * num_levels
+    adjacency = np.zeros((size, size), dtype=float)
+    for a in range(num_levels):
+        for b in range(num_levels):
+            source = a * num_levels + b
+            for c in range(num_levels):
+                if (a, b, c) in forbidden:
+                    continue
+                adjacency[source, b * num_levels + c] = 1.0
+    return adjacency
+
+
+def constraint_capacity(forbidden_patterns: list[tuple[int, int, int]],
+                        num_levels: int = NUM_LEVELS) -> float:
+    """Capacity in bits per cell of the constrained system.
+
+    An empty forbidden set gives the unconstrained ``log2(num_levels)``.
+    """
+    adjacency = constraint_adjacency_matrix(forbidden_patterns, num_levels)
+    eigenvalues = np.linalg.eigvals(adjacency)
+    spectral_radius = float(np.max(np.abs(eigenvalues)))
+    if spectral_radius <= 0:
+        return 0.0
+    return float(np.log2(spectral_radius))
+
+
+def ici_constraint_capacity(high_level: int,
+                            victim_level: int = ERASED_LEVEL,
+                            num_levels: int = NUM_LEVELS) -> float:
+    """Capacity of the code forbidding ``a v b`` with both neighbours high."""
+    patterns = ici_forbidden_patterns(high_level, victim_level, num_levels)
+    return constraint_capacity(patterns, num_levels)
+
+
+def rate_penalty(high_level: int, victim_level: int = ERASED_LEVEL,
+                 num_levels: int = NUM_LEVELS) -> float:
+    """Fractional rate loss of the ICI constraint versus the unconstrained code.
+
+    ``0.0`` means the constraint is free; ``0.05`` means 5% of the raw
+    capacity must be given up to avoid the forbidden patterns.
+    """
+    unconstrained = float(np.log2(num_levels))
+    constrained = ici_constraint_capacity(high_level, victim_level, num_levels)
+    return 1.0 - constrained / unconstrained

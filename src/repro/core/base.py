@@ -1,0 +1,104 @@
+"""Common interface of the conditional generative architectures.
+
+The trainer (:mod:`repro.core.trainer`) is architecture agnostic: every model
+exposes generator-side and discriminator-side parameter groups and loss
+functions, plus a ``sample`` method that maps (PL, P/E) to normalised
+voltages using latent vectors drawn from the standard Gaussian prior (the
+paper's evaluation protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.nn import Module, Tensor, no_grad
+
+__all__ = ["ConditionalGenerativeModel"]
+
+
+class ConditionalGenerativeModel(Module):
+    """Base class for cVAE-GAN, cGAN, cVAE and BicycleGAN."""
+
+    #: Registry name of the architecture (e.g. ``"cvae_gan"``).
+    name: str = ""
+    #: Label used in reports (matches the paper's notation, e.g. ``"cV-G"``).
+    display_name: str = ""
+
+    def __init__(self, config: ModelConfig):
+        super().__init__()
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Parameter groups
+    # ------------------------------------------------------------------ #
+    def generator_parameters(self) -> list[Tensor]:
+        """Parameters updated by the generator/encoder optimizer."""
+        raise NotImplementedError
+
+    def discriminator_parameters(self) -> list[Tensor]:
+        """Parameters updated by the discriminator optimizer (may be empty)."""
+        return []
+
+    @property
+    def has_discriminator(self) -> bool:
+        return len(self.discriminator_parameters()) > 0
+
+    # ------------------------------------------------------------------ #
+    # Losses
+    # ------------------------------------------------------------------ #
+    def generator_loss(self, program_levels: Tensor, voltages: Tensor,
+                       pe_normalized: np.ndarray,
+                       rng: np.random.Generator) -> tuple[Tensor, dict[str, float]]:
+        """Loss minimised by the generator (and encoder, where present)."""
+        raise NotImplementedError
+
+    def discriminator_loss(self, program_levels: Tensor, voltages: Tensor,
+                           pe_normalized: np.ndarray,
+                           rng: np.random.Generator
+                           ) -> tuple[Tensor, dict[str, float]] | None:
+        """Loss minimised by the discriminator, or ``None`` if there is none."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def prior_latent(self, batch: int, rng: np.random.Generator) -> Tensor:
+        """Latent vectors drawn from the standard Gaussian prior."""
+        return Tensor(rng.standard_normal((batch, self.config.latent_dim)))
+
+    def sample(self, program_levels: np.ndarray, pe_normalized: np.ndarray,
+               rng: np.random.Generator,
+               latent: np.ndarray | None = None) -> np.ndarray:
+        """Generate normalised voltages for normalised program-level arrays.
+
+        Parameters
+        ----------
+        program_levels:
+            Normalised program levels of shape ``(N, 1, H, W)``.
+        pe_normalized:
+            Normalised P/E cycle counts of shape ``(N,)``.
+        rng:
+            Random generator for the prior latent sample.
+        latent:
+            Optional fixed latent vectors of shape ``(N, latent_dim)``.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                if latent is None:
+                    latent_tensor = self.prior_latent(program_levels.shape[0],
+                                                      rng)
+                else:
+                    latent_tensor = Tensor(np.asarray(latent, dtype=float))
+                output = self._generate(Tensor(program_levels), pe_normalized,
+                                        latent_tensor)
+        finally:
+            self.train(was_training)
+        return output.numpy()
+
+    def _generate(self, program_levels: Tensor, pe_normalized: np.ndarray,
+                  latent: Tensor) -> Tensor:
+        """Architecture-specific generator forward pass."""
+        raise NotImplementedError

@@ -1,0 +1,97 @@
+"""Inference wrapper: the learned flash channel model.
+
+:class:`GenerativeChannelModel` turns a trained conditional generative
+architecture into a drop-in replacement for :class:`repro.flash.FlashChannel`
+and the statistical baselines: it accepts raw program levels and P/E cycle
+counts and returns read voltages in physical units, drawing latent vectors
+from the standard Gaussian prior (the paper's evaluation protocol, with 10
+latent samples per program-level array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import ConditionalGenerativeModel
+from repro.data.normalize import LevelNormalizer, PENormalizer, VoltageNormalizer
+from repro.flash.params import FlashParameters
+
+__all__ = ["GenerativeChannelModel"]
+
+
+class GenerativeChannelModel:
+    """Sample physical read voltages from a trained generative model."""
+
+    def __init__(self, model: ConditionalGenerativeModel,
+                 params: FlashParameters | None = None,
+                 rng: np.random.Generator | None = None):
+        self.model = model
+        self.params = params if params is not None else FlashParameters()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.level_normalizer = LevelNormalizer()
+        self.voltage_normalizer = VoltageNormalizer(self.params)
+        self.pe_normalizer = PENormalizer(self.params.reference_pe_cycles)
+
+    @property
+    def array_size(self) -> int:
+        return self.model.config.array_size
+
+    def _check_input(self, program_levels: np.ndarray) -> np.ndarray:
+        levels = np.asarray(program_levels)
+        if levels.ndim == 2:
+            levels = levels[None, :, :]
+        if levels.ndim != 3:
+            raise ValueError("program_levels must have shape (H, W) or "
+                             "(N, H, W)")
+        size = self.array_size
+        if levels.shape[1] != size or levels.shape[2] != size:
+            raise ValueError(f"this model expects {size}x{size} arrays, got "
+                             f"{levels.shape[1:]} ")
+        return levels
+
+    def read(self, program_levels: np.ndarray, pe_cycles: float,
+             latent: np.ndarray | None = None,
+             batch_size: int = 16) -> np.ndarray:
+        """Generate read voltages for program-level arrays at one P/E count.
+
+        Mirrors :meth:`repro.flash.FlashChannel.read`; the result has the same
+        shape as ``program_levels`` and is expressed in physical voltage
+        units.
+        """
+        levels = self._check_input(program_levels)
+        squeeze = np.asarray(program_levels).ndim == 2
+        normalized_levels = self.level_normalizer.normalize(levels)[:, None]
+        pe_normalized_value = float(self.pe_normalizer.normalize(pe_cycles))
+
+        outputs = []
+        for start in range(0, len(levels), batch_size):
+            chunk = normalized_levels[start:start + batch_size]
+            pe_chunk = np.full(len(chunk), pe_normalized_value)
+            latent_chunk = None
+            if latent is not None:
+                latent_chunk = np.asarray(latent)[start:start + batch_size]
+            generated = self.model.sample(chunk, pe_chunk, self.rng,
+                                          latent=latent_chunk)
+            outputs.append(generated[:, 0])
+        normalized_voltages = np.concatenate(outputs)
+        voltages = self.voltage_normalizer.denormalize(normalized_voltages)
+        voltages = np.clip(voltages, self.params.voltage_min,
+                           self.params.voltage_max)
+        return voltages[0] if squeeze else voltages
+
+    def read_repeated(self, program_levels: np.ndarray, pe_cycles: float,
+                      num_samples: int | None = None,
+                      batch_size: int = 16) -> np.ndarray:
+        """Multiple stochastic reads of the same program-level arrays.
+
+        The paper prepares 10 different latent samples per program-level array
+        during evaluation; the default ``num_samples`` follows the model
+        configuration.  Returns an array of shape ``(num_samples, ...)``.
+        """
+        if num_samples is None:
+            num_samples = self.model.config.samples_per_array
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        return np.stack([self.read(program_levels, pe_cycles,
+                                   batch_size=batch_size)
+                         for _ in range(num_samples)])

@@ -1,0 +1,52 @@
+"""Mini-batch iteration over the paired dataset."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import FlashChannelDataset
+
+__all__ = ["BatchIterator"]
+
+
+class BatchIterator:
+    """Shuffled mini-batch iterator over a :class:`FlashChannelDataset`.
+
+    Each batch is a tuple ``(program_levels, voltages, pe_cycles)`` with
+    leading dimension ``batch_size`` (the final batch may be smaller unless
+    ``drop_last`` is set).
+    """
+
+    def __init__(self, dataset: FlashChannelDataset, batch_size: int = 2,
+                 shuffle: bool = True, drop_last: bool = False,
+                 rng: np.random.Generator | None = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                return
+            yield (self.dataset.program_levels[batch_indices],
+                   self.dataset.voltages[batch_indices],
+                   self.dataset.pe_cycles[batch_indices])

@@ -1,0 +1,206 @@
+"""Binary BCH codes: construction, systematic encoding and decoding.
+
+BCH codes are the classic hard-decision ECC of NAND flash controllers; they
+are the natural consumer of the hard error rates the channel model predicts
+(Fig. 5's error counts translate directly into a required correction
+capability ``t``).  The implementation is textbook:
+
+* the generator polynomial is the LCM of the minimal polynomials of
+  ``alpha, alpha^2, ..., alpha^{2t}``;
+* encoding is systematic (message bits followed by parity bits);
+* decoding computes syndromes, runs the Berlekamp-Massey algorithm to find
+  the error-locator polynomial and locates the errors by Chien search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.galois import GaloisField, Gf2Polynomial
+
+__all__ = ["BCHCode", "BCHDecodingResult"]
+
+
+@dataclass
+class BCHDecodingResult:
+    """Outcome of decoding one BCH codeword."""
+
+    codeword: np.ndarray
+    message: np.ndarray
+    corrected_errors: int
+    success: bool
+
+
+class BCHCode:
+    """A binary primitive BCH code of length ``n = 2^m - 1``.
+
+    Parameters
+    ----------
+    m:
+        Field extension degree; the code length is ``2^m - 1``.
+    t:
+        Design error-correction capability (number of correctable bit errors).
+    """
+
+    def __init__(self, m: int, t: int):
+        if t < 1:
+            raise ValueError("t must be positive")
+        self.field = GaloisField(m)
+        self.m = m
+        self.t = t
+        self.n = self.field.order
+        self.generator = self._build_generator()
+        self.n_minus_k = self.generator.degree
+        self.k = self.n - self.n_minus_k
+        if self.k <= 0:
+            raise ValueError(f"BCH(m={m}, t={t}) has no message bits; "
+                             f"reduce t or increase m")
+
+    def _build_generator(self) -> Gf2Polynomial:
+        generator = Gf2Polynomial([1])
+        seen: set[Gf2Polynomial] = set()
+        for power in range(1, 2 * self.t + 1):
+            minimal = self.field.minimal_polynomial(
+                self.field.alpha_power(power))
+            if minimal in seen:
+                continue
+            seen.add(minimal)
+            generator = generator * minimal
+        return generator
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` message bits into an ``n``-bit codeword.
+
+        The codeword layout is ``[message | parity]`` where the parity bits
+        are the remainder of ``message(x) * x^(n-k)`` modulo the generator.
+        """
+        message = np.asarray(message).astype(np.int64) & 1
+        if message.shape != (self.k,):
+            raise ValueError(f"message must have shape ({self.k},), "
+                             f"got {message.shape}")
+        # Coefficients are lowest-degree first; placing the message bits in
+        # the high-degree positions multiplies the message polynomial by
+        # x^(n-k).
+        shifted = Gf2Polynomial([0] * self.n_minus_k + list(message))
+        remainder = shifted % self.generator
+        parity = np.zeros(self.n_minus_k, dtype=np.int64)
+        for degree, coefficient in enumerate(remainder.coefficients):
+            parity[degree] = coefficient
+        # Codeword coefficients (lowest degree first): parity then message.
+        codeword = np.concatenate([parity, message])
+        return codeword
+
+    def message_from_codeword(self, codeword: np.ndarray) -> np.ndarray:
+        """Extract the systematic message bits from a codeword."""
+        codeword = np.asarray(codeword)
+        if codeword.shape != (self.n,):
+            raise ValueError(f"codeword must have shape ({self.n},)")
+        return codeword[self.n_minus_k:].astype(np.int64)
+
+    def is_codeword(self, word: np.ndarray) -> bool:
+        """Whether ``word`` has all-zero syndromes."""
+        return all(s == 0 for s in self._syndromes(np.asarray(word) & 1))
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def _syndromes(self, received: np.ndarray) -> list[int]:
+        syndromes = []
+        for power in range(1, 2 * self.t + 1):
+            syndromes.append(self.field.poly_eval(
+                received.tolist(), self.field.alpha_power(power)))
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial (coefficients, lowest degree first)."""
+        field = self.field
+        locator = [1]
+        previous = [1]
+        shift = 1
+        previous_discrepancy = 1
+        for index in range(2 * self.t):
+            discrepancy = syndromes[index]
+            for degree in range(1, len(locator)):
+                if degree <= index:
+                    discrepancy ^= field.multiply(locator[degree],
+                                                  syndromes[index - degree])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.divide(discrepancy, previous_discrepancy)
+            candidate = locator + [0] * max(
+                0, len(previous) + shift - len(locator))
+            for degree, coefficient in enumerate(previous):
+                candidate[degree + shift] ^= field.multiply(scale, coefficient)
+            if 2 * (len(locator) - 1) <= index:
+                previous = list(locator)
+                previous_discrepancy = discrepancy
+                shift = 1
+            else:
+                shift += 1
+            locator = candidate
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        """Positions of the errors located by the error-locator polynomial."""
+        positions = []
+        for position in range(self.n):
+            # An error at position i corresponds to a root alpha^{-i}.
+            x = self.field.alpha_power(-position)
+            if self.field.poly_eval(locator, x) == 0:
+                positions.append(position)
+        return positions
+
+    def decode(self, received: np.ndarray) -> BCHDecodingResult:
+        """Decode a (possibly corrupted) ``n``-bit word.
+
+        Returns the corrected codeword, the extracted message, the number of
+        corrected bits, and a success flag.  Decoding fails (success=False,
+        word returned uncorrected) when the error pattern exceeds the design
+        capability and the locator degree disagrees with the number of roots.
+        """
+        received = np.asarray(received).astype(np.int64) & 1
+        if received.shape != (self.n,):
+            raise ValueError(f"received word must have shape ({self.n},)")
+        syndromes = self._syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return BCHDecodingResult(codeword=received.copy(),
+                                     message=self.message_from_codeword(received),
+                                     corrected_errors=0, success=True)
+        locator = self._berlekamp_massey(syndromes)
+        positions = self._chien_search(locator)
+        locator_degree = len(locator) - 1
+        if locator_degree > self.t or len(positions) != locator_degree:
+            return BCHDecodingResult(codeword=received.copy(),
+                                     message=self.message_from_codeword(received),
+                                     corrected_errors=0, success=False)
+        corrected = received.copy()
+        corrected[positions] ^= 1
+        if not self.is_codeword(corrected):
+            return BCHDecodingResult(codeword=received.copy(),
+                                     message=self.message_from_codeword(received),
+                                     corrected_errors=0, success=False)
+        return BCHDecodingResult(codeword=corrected,
+                                 message=self.message_from_codeword(corrected),
+                                 corrected_errors=len(positions), success=True)
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def rate(self) -> float:
+        """Code rate k / n."""
+        return self.k / self.n
+
+    def describe(self) -> dict[str, float | int]:
+        """Key parameters of the code."""
+        return {"n": self.n, "k": self.k, "t": self.t, "m": self.m,
+                "rate": self.rate,
+                "parity_bits": self.n_minus_k}

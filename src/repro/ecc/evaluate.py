@@ -1,0 +1,185 @@
+"""End-to-end ECC evaluation over a flash channel model.
+
+These helpers close the loop the paper motivates: a channel model (simulator
+or trained generative network) supplies realistic read voltages, and the ECC
+evaluation answers the questions a controller architect asks of it — what
+correction strength does a BCH code need at a given P/E count, and how much
+does soft-decision LDPC decoding gain from the model's soft voltages?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.bch import BCHCode
+from repro.ecc.ldpc import LDPCCode
+from repro.ecc.llr import LevelDensityTable, page_llrs
+from repro.flash.cell import LOWER_PAGE, levels_to_pages
+from repro.flash.pages import program_pages
+from repro.flash.params import FlashParameters
+from repro.flash.thresholds import default_read_thresholds, hard_read
+
+__all__ = [
+    "CodewordChannelResult",
+    "evaluate_bch_over_channel",
+    "evaluate_ldpc_over_channel",
+    "required_bch_capability",
+]
+
+
+@dataclass
+class CodewordChannelResult:
+    """Frame/bit error statistics of one code over one channel condition."""
+
+    pe_cycles: float
+    codewords: int
+    raw_bit_error_rate: float
+    frame_error_rate: float
+    post_correction_bit_error_rate: float
+
+    @property
+    def frames_failed(self) -> int:
+        return int(round(self.frame_error_rate * self.codewords))
+
+
+def _random_page_payload(code_k: int, num_codewords: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, 2, size=(num_codewords, code_k))
+
+
+def _transmit_lower_page(channel, messages: np.ndarray, encode,
+                         pe_cycles: float, rng: np.random.Generator,
+                         params: FlashParameters | None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Program codewords into lower-page bits and read soft voltages back.
+
+    Each codeword occupies one row of a block whose middle/upper pages carry
+    random (scrambled) data, so the codeword bits see realistic neighbour
+    levels and ICI.  Returns ``(codewords, voltages)`` where both have shape
+    ``(num_codewords, n)``.
+    """
+    num_codewords, _ = messages.shape
+    codewords = np.stack([encode(message) for message in messages])
+    n = codewords.shape[1]
+    middle = rng.integers(0, 2, size=codewords.shape)
+    upper = rng.integers(0, 2, size=codewords.shape)
+    levels = program_pages(codewords, middle, upper)
+    # Stack the codeword rows into a single 2-D array so wordline/bitline
+    # neighbours exist; each row is one codeword.
+    voltages = channel.read(levels, pe_cycles)
+    return codewords, voltages
+
+
+def evaluate_bch_over_channel(code: BCHCode, channel, pe_cycles: float,
+                              num_codewords: int = 20,
+                              rng: np.random.Generator | None = None,
+                              params: FlashParameters | None = None
+                              ) -> CodewordChannelResult:
+    """Hard-decision BCH performance over a channel model.
+
+    ``channel`` must expose ``read(program_levels, pe_cycles)`` returning soft
+    voltages — both the simulator and the generative wrapper qualify.
+    """
+    if num_codewords < 1:
+        raise ValueError("num_codewords must be positive")
+    generator = rng if rng is not None else np.random.default_rng()
+    messages = _random_page_payload(code.k, num_codewords, generator)
+    codewords, voltages = _transmit_lower_page(
+        channel, messages, code.encode, pe_cycles, generator, params)
+
+    thresholds = default_read_thresholds(params)
+    hard_levels = hard_read(voltages, thresholds)
+    received_bits = levels_to_pages(hard_levels)[..., LOWER_PAGE]
+
+    raw_errors = 0
+    frame_failures = 0
+    residual_errors = 0
+    for index in range(num_codewords):
+        raw_errors += int(np.count_nonzero(
+            received_bits[index] != codewords[index]))
+        result = code.decode(received_bits[index])
+        decoded = result.codeword
+        if not result.success or not np.array_equal(decoded, codewords[index]):
+            frame_failures += 1
+            residual_errors += int(np.count_nonzero(decoded != codewords[index]))
+    total_bits = num_codewords * code.n
+    return CodewordChannelResult(
+        pe_cycles=float(pe_cycles), codewords=num_codewords,
+        raw_bit_error_rate=raw_errors / total_bits,
+        frame_error_rate=frame_failures / num_codewords,
+        post_correction_bit_error_rate=residual_errors / total_bits)
+
+
+def evaluate_ldpc_over_channel(code: LDPCCode, channel, pe_cycles: float,
+                               density_table: LevelDensityTable,
+                               num_codewords: int = 20,
+                               max_iterations: int = 30,
+                               rng: np.random.Generator | None = None,
+                               params: FlashParameters | None = None
+                               ) -> CodewordChannelResult:
+    """Soft-decision (min-sum) LDPC performance over a channel model.
+
+    The LLRs are computed from ``density_table`` — typically estimated from
+    data regenerated by the generative channel model — which is exactly the
+    soft-information workflow the paper's modelling approach enables.
+    """
+    if num_codewords < 1:
+        raise ValueError("num_codewords must be positive")
+    generator = rng if rng is not None else np.random.default_rng()
+    messages = _random_page_payload(code.k, num_codewords, generator)
+    codewords, voltages = _transmit_lower_page(
+        channel, messages, code.encode, pe_cycles, generator, params)
+
+    thresholds = default_read_thresholds(params)
+    hard_levels = hard_read(voltages, thresholds)
+    received_bits = levels_to_pages(hard_levels)[..., LOWER_PAGE]
+
+    raw_errors = 0
+    frame_failures = 0
+    residual_errors = 0
+    for index in range(num_codewords):
+        raw_errors += int(np.count_nonzero(
+            received_bits[index] != codewords[index]))
+        llrs = page_llrs(voltages[index], LOWER_PAGE, density_table)
+        result = code.decode_min_sum(llrs, max_iterations=max_iterations)
+        if not result.success or not np.array_equal(result.codeword,
+                                                    codewords[index]):
+            frame_failures += 1
+            residual_errors += int(np.count_nonzero(
+                result.codeword != codewords[index]))
+    total_bits = num_codewords * code.n
+    return CodewordChannelResult(
+        pe_cycles=float(pe_cycles), codewords=num_codewords,
+        raw_bit_error_rate=raw_errors / total_bits,
+        frame_error_rate=frame_failures / num_codewords,
+        post_correction_bit_error_rate=residual_errors / total_bits)
+
+
+def required_bch_capability(raw_bit_error_rate: float, codeword_length: int,
+                            target_frame_error_rate: float = 1e-3,
+                            max_t: int = 64) -> int:
+    """Smallest ``t`` meeting a frame-error-rate target for i.i.d. bit errors.
+
+    The frame error rate of a ``t``-error-correcting code of length ``n``
+    under independent bit errors with probability ``p`` is
+    ``P(#errors > t)`` for a Binomial(n, p) count; the function returns the
+    smallest ``t`` whose tail probability is below the target.  This is the
+    standard first-order dimensioning rule a controller architect applies to
+    the RBER the channel model predicts.
+    """
+    if not 0 <= raw_bit_error_rate < 1:
+        raise ValueError("raw_bit_error_rate must lie in [0, 1)")
+    if codeword_length < 1:
+        raise ValueError("codeword_length must be positive")
+    if not 0 < target_frame_error_rate < 1:
+        raise ValueError("target_frame_error_rate must lie in (0, 1)")
+    from scipy.stats import binom
+
+    for t in range(max_t + 1):
+        tail = binom.sf(t, codeword_length, raw_bit_error_rate)
+        if tail <= target_frame_error_rate:
+            return t
+    raise ValueError("no t within max_t meets the target; "
+                     "increase max_t or shorten the codeword")

@@ -1,0 +1,250 @@
+"""Finite-field arithmetic over GF(2^m).
+
+BCH codes — the workhorse ECC of planar NAND controllers — are defined over
+binary extension fields.  This module provides a small, table-driven GF(2^m)
+implementation (log/antilog tables built from a primitive polynomial) plus the
+polynomial helpers needed to construct BCH generator polynomials.
+
+Elements are represented as Python integers in ``[0, 2^m)`` whose bits are the
+coefficients of the corresponding polynomial over GF(2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_PRIMITIVE_POLYNOMIALS", "GaloisField", "Gf2Polynomial"]
+
+#: Primitive polynomials (as bit masks, degree m term included) for the field
+#: sizes used in practice.  E.g. m=4 -> x^4 + x + 1 -> 0b10011.
+DEFAULT_PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+}
+
+
+class GaloisField:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Extension degree; the field has ``2^m`` elements.
+    primitive_polynomial:
+        Bit mask of the primitive polynomial used to build the field; the
+        default table covers ``m`` in ``[2, 10]``.
+    """
+
+    def __init__(self, m: int, primitive_polynomial: int | None = None):
+        if primitive_polynomial is None:
+            if m not in DEFAULT_PRIMITIVE_POLYNOMIALS:
+                raise ValueError(
+                    f"no default primitive polynomial for m={m}; supply one")
+            primitive_polynomial = DEFAULT_PRIMITIVE_POLYNOMIALS[m]
+        if m < 2:
+            raise ValueError("m must be at least 2")
+        if primitive_polynomial >> m != 1:
+            raise ValueError("primitive polynomial must have degree m")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1
+        self.primitive_polynomial = primitive_polynomial
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        self.exp_table = np.zeros(2 * self.order, dtype=np.int64)
+        self.log_table = np.zeros(self.size, dtype=np.int64)
+        value = 1
+        for power in range(self.order):
+            if power > 0 and value == 1:
+                # The powers of x repeated before covering every non-zero
+                # element, so x is not a primitive element of this quotient.
+                raise ValueError("polynomial is not primitive for this m")
+            self.exp_table[power] = value
+            self.log_table[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= self.primitive_polynomial
+        if value != 1:
+            raise ValueError("polynomial is not primitive for this m")
+        # Duplicate the exponent table so products of logs need no modulo.
+        self.exp_table[self.order:] = self.exp_table[:self.order]
+
+    # ------------------------------------------------------------------ #
+    # Element arithmetic
+    # ------------------------------------------------------------------ #
+    def _check(self, *elements: int) -> None:
+        for element in elements:
+            if not 0 <= element < self.size:
+                raise ValueError(f"element {element} outside GF(2^{self.m})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (characteristic 2: bitwise XOR)."""
+        self._check(a, b)
+        return a ^ b
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via the log/antilog tables."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp_table[self.log_table[a] + self.log_table[b]])
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return int(self.exp_table[self.order - self.log_table[a]])
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        self._check(a, b)
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        log = (self.log_table[a] - self.log_table[b]) % self.order
+        return int(self.exp_table[log])
+
+    def power(self, a: int, exponent: int) -> int:
+        """``a`` raised to an integer exponent (negative allowed for a != 0)."""
+        self._check(a)
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive "
+                                        "power")
+            return 0
+        log = (self.log_table[a] * exponent) % self.order
+        return int(self.exp_table[log])
+
+    def alpha_power(self, exponent: int) -> int:
+        """The primitive element alpha raised to ``exponent``."""
+        return int(self.exp_table[exponent % self.order])
+
+    # ------------------------------------------------------------------ #
+    # Polynomials over the field (coefficient lists, lowest degree first)
+    # ------------------------------------------------------------------ #
+    def poly_eval(self, coefficients: list[int] | np.ndarray, x: int) -> int:
+        """Evaluate a polynomial with GF(2^m) coefficients at ``x`` (Horner)."""
+        result = 0
+        for coefficient in reversed(list(coefficients)):
+            result = self.multiply(result, x) ^ int(coefficient)
+        return result
+
+    def minimal_polynomial(self, element: int) -> "Gf2Polynomial":
+        """Minimal polynomial over GF(2) of a field element.
+
+        The minimal polynomial of ``beta`` is ``prod (x - beta^(2^i))`` over
+        the conjugacy class of ``beta``; its coefficients all lie in GF(2).
+        """
+        self._check(element)
+        if element == 0:
+            return Gf2Polynomial([0, 1])  # x
+        conjugates = []
+        current = element
+        while current not in conjugates:
+            conjugates.append(current)
+            current = self.multiply(current, current)
+        # Multiply out prod (x + conjugate) with coefficients in GF(2^m).
+        coefficients = [1]
+        for conjugate in conjugates:
+            next_coefficients = [0] * (len(coefficients) + 1)
+            for degree, coefficient in enumerate(coefficients):
+                # times x
+                next_coefficients[degree + 1] ^= coefficient
+                # times conjugate
+                next_coefficients[degree] ^= self.multiply(coefficient,
+                                                           conjugate)
+            coefficients = next_coefficients
+        if any(coefficient not in (0, 1) for coefficient in coefficients):
+            raise RuntimeError("minimal polynomial must have binary "
+                               "coefficients")
+        return Gf2Polynomial(coefficients)
+
+
+class Gf2Polynomial:
+    """A polynomial with coefficients in GF(2), lowest degree first."""
+
+    def __init__(self, coefficients: list[int] | np.ndarray):
+        coefficients = [int(c) & 1 for c in coefficients]
+        while len(coefficients) > 1 and coefficients[-1] == 0:
+            coefficients.pop()
+        self.coefficients = coefficients
+
+    @property
+    def degree(self) -> int:
+        if self.coefficients == [0]:
+            return -1
+        return len(self.coefficients) - 1
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Gf2Polynomial) \
+            and self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.coefficients))
+
+    def __repr__(self) -> str:
+        return f"Gf2Polynomial({self.coefficients})"
+
+    def __mul__(self, other: "Gf2Polynomial") -> "Gf2Polynomial":
+        if self.degree < 0 or other.degree < 0:
+            return Gf2Polynomial([0])
+        result = [0] * (self.degree + other.degree + 1)
+        for i, a in enumerate(self.coefficients):
+            if not a:
+                continue
+            for j, b in enumerate(other.coefficients):
+                result[i + j] ^= a & b
+        return Gf2Polynomial(result)
+
+    def __mod__(self, other: "Gf2Polynomial") -> "Gf2Polynomial":
+        if other.degree < 0:
+            raise ZeroDivisionError("polynomial modulo zero")
+        remainder = list(self.coefficients)
+        while len(remainder) - 1 >= other.degree and any(remainder):
+            shift = len(remainder) - 1 - other.degree
+            if remainder[-1]:
+                for index, coefficient in enumerate(other.coefficients):
+                    remainder[shift + index] ^= coefficient
+            remainder.pop()
+        return Gf2Polynomial(remainder if remainder else [0])
+
+    def lcm(self, other: "Gf2Polynomial") -> "Gf2Polynomial":
+        """Least common multiple (used to merge minimal polynomials)."""
+        product = self * other
+        gcd = self.gcd(other)
+        quotient, remainder = product.divmod(gcd)
+        if remainder.degree >= 0 and any(remainder.coefficients):
+            raise RuntimeError("lcm division left a remainder")
+        return quotient
+
+    def gcd(self, other: "Gf2Polynomial") -> "Gf2Polynomial":
+        a, b = self, other
+        while b.degree >= 0 and any(b.coefficients):
+            a, b = b, a % b
+        return a
+
+    def divmod(self, other: "Gf2Polynomial"
+               ) -> tuple["Gf2Polynomial", "Gf2Polynomial"]:
+        """Polynomial long division: returns (quotient, remainder)."""
+        if other.degree < 0:
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coefficients)
+        if self.degree < other.degree:
+            return Gf2Polynomial([0]), Gf2Polynomial(remainder)
+        quotient = [0] * (self.degree - other.degree + 1)
+        for shift in range(self.degree - other.degree, -1, -1):
+            if remainder[shift + other.degree]:
+                quotient[shift] = 1
+                for index, coefficient in enumerate(other.coefficients):
+                    remainder[shift + index] ^= coefficient
+        return Gf2Polynomial(quotient), Gf2Polynomial(remainder)

@@ -1,0 +1,79 @@
+"""Distribution distances: total variation and KL divergence.
+
+Remark 3 of the paper selects the cVAE-GAN architecture because it achieves
+the smallest total variation distance ``d_TV(P_real, P_fake)`` with respect to
+the measured voltage distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["total_variation_distance", "kl_divergence", "distribution_distance"]
+
+_EPS = 1e-12
+
+
+def _as_probability_vector(values: np.ndarray, name: str) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D probability vector")
+    if np.any(values < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError(f"{name} must have positive mass")
+    return values / total
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two discrete distributions.
+
+    ``d_TV(P, Q) = 0.5 * sum_i |P_i - Q_i|`` — the metric of Remark 3.
+    """
+    p = _as_probability_vector(p, "p")
+    q = _as_probability_vector(q, "q")
+    if p.shape != q.shape:
+        raise ValueError("p and q must have the same length")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Discrete KL divergence ``D_KL(P || Q)`` in nats."""
+    p = _as_probability_vector(p, "p")
+    q = _as_probability_vector(q, "q")
+    if p.shape != q.shape:
+        raise ValueError("p and q must have the same length")
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], _EPS))))
+
+
+def distribution_distance(real_voltages: np.ndarray, fake_voltages: np.ndarray,
+                          bins: int = 200,
+                          voltage_range: tuple[float, float] = (0.0, 650.0),
+                          metric: str = "tv") -> float:
+    """Distance between two voltage samples via a common histogram grid.
+
+    Parameters
+    ----------
+    real_voltages, fake_voltages:
+        Samples of read voltages (arbitrary shapes; flattened internally).
+    bins, voltage_range:
+        Shared histogram grid.
+    metric:
+        ``"tv"`` for total variation or ``"kl"`` for KL divergence
+        ``D_KL(real || fake)``.
+    """
+    edges = np.linspace(voltage_range[0], voltage_range[1], bins + 1)
+    real_counts, _ = np.histogram(np.asarray(real_voltages).ravel(), bins=edges)
+    fake_counts, _ = np.histogram(np.asarray(fake_voltages).ravel(), bins=edges)
+    if real_counts.sum() == 0 or fake_counts.sum() == 0:
+        raise ValueError("both samples must have mass inside the voltage range")
+    real_probabilities = real_counts / real_counts.sum()
+    # Laplace-smooth the model histogram so KL stays finite.
+    fake_probabilities = (fake_counts + _EPS) / (fake_counts.sum() + _EPS * bins)
+    if metric == "tv":
+        return total_variation_distance(real_probabilities, fake_probabilities)
+    if metric == "kl":
+        return kl_divergence(real_probabilities, fake_probabilities)
+    raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,101 @@
+"""Level error counts against the fixed default read thresholds (Fig. 5).
+
+Two routes are provided, matching the paper's methodology:
+
+* **from samples** — hard-read a sample of (PL, VL) pairs and count, per
+  program level, the cells whose hard read differs from the programmed level
+  (used for the measured data and for the generative model's output); and
+* **from a density** — integrate a fitted per-level density outside the
+  level's threshold window (used for the statistical baselines, whose error
+  probability is available in closed form once the fit is done).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.errors import per_level_error_counts
+from repro.flash.params import FlashParameters
+from repro.flash.thresholds import default_read_thresholds
+
+__all__ = [
+    "error_counts_from_samples",
+    "error_probability_from_pdf",
+    "normalized_error_counts",
+    "stacked_error_table",
+]
+
+
+def error_counts_from_samples(program_levels: np.ndarray,
+                              voltages: np.ndarray,
+                              thresholds: np.ndarray | None = None,
+                              params: FlashParameters | None = None
+                              ) -> np.ndarray:
+    """Per-level error counts of levels 1..7 (length-7 array).
+
+    Level 0 is excluded, exactly as in Fig. 5 ("we stack the errors from
+    program level 1 to program level 7").
+    """
+    counts = per_level_error_counts(program_levels, voltages, thresholds,
+                                    params)
+    return counts[1:]
+
+
+def error_probability_from_pdf(grid: np.ndarray, pdf: np.ndarray, level: int,
+                               thresholds: np.ndarray | None = None,
+                               params: FlashParameters | None = None) -> float:
+    """Error probability of one level from its (fitted) density.
+
+    For level ``l`` with window ``[Vth(l-1, l), Vth(l, l+1)]`` the error
+    probability is the density mass outside the window; the highest level has
+    no upper threshold and the erased level no lower threshold.
+    """
+    if not 0 <= level < NUM_LEVELS:
+        raise ValueError("level must lie in [0, 8)")
+    if thresholds is None:
+        thresholds = default_read_thresholds(params)
+    grid = np.asarray(grid, dtype=float)
+    pdf = np.asarray(pdf, dtype=float)
+    if grid.shape != pdf.shape:
+        raise ValueError("grid and pdf must share a shape")
+    total = np.trapezoid(pdf, grid)
+    if total <= 0:
+        raise ValueError("pdf must have positive mass on the grid")
+    lower = thresholds[level - 1] if level > 0 else -np.inf
+    upper = thresholds[level] if level < NUM_LEVELS - 1 else np.inf
+    inside = (grid >= lower) & (grid <= upper)
+    correct = np.trapezoid(np.where(inside, pdf, 0.0), grid)
+    return float(np.clip(1.0 - correct / total, 0.0, 1.0))
+
+
+def normalized_error_counts(counts_by_model: dict[str, np.ndarray],
+                            reference_key: str,
+                            reference_total: float | None = None
+                            ) -> dict[str, np.ndarray]:
+    """Normalise stacked error counts as in Fig. 5.
+
+    Every model's per-level counts are divided by the *total* count of the
+    reference entry (the measured data at 4000 P/E cycles in the paper), so
+    the reference stacks to 1.0.
+    """
+    if reference_total is None:
+        if reference_key not in counts_by_model:
+            raise KeyError(f"reference key {reference_key!r} missing")
+        reference_total = float(np.sum(counts_by_model[reference_key]))
+    if reference_total <= 0:
+        raise ValueError("reference total must be positive")
+    return {key: np.asarray(counts, dtype=float) / reference_total
+            for key, counts in counts_by_model.items()}
+
+
+def stacked_error_table(normalized: dict[str, np.ndarray]) -> list[dict]:
+    """Rows of the Fig. 5 bar chart: one row per model with per-level stacks."""
+    rows = []
+    for model_name, stacks in normalized.items():
+        stacks = np.asarray(stacks, dtype=float)
+        row = {"model": model_name, "total": float(stacks.sum())}
+        for index, value in enumerate(stacks, start=1):
+            row[f"level_{index}"] = float(value)
+        rows.append(row)
+    return rows

@@ -1,0 +1,84 @@
+"""Estimation of the conditional read-voltage distributions (Fig. 4).
+
+"The frequency of occurrence of each voltage level given the program level
+and P/E cycle count is used to estimate the conditional probability of that
+level and time."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.params import FlashParameters
+
+__all__ = [
+    "histogram_bin_centers",
+    "voltage_histogram",
+    "conditional_histogram",
+    "conditional_pdfs",
+]
+
+
+def _default_edges(bins: int, params: FlashParameters | None) -> np.ndarray:
+    params = params if params is not None else FlashParameters()
+    return np.linspace(params.voltage_min, params.voltage_max, bins + 1)
+
+
+def histogram_bin_centers(bins: int = 200,
+                          params: FlashParameters | None = None) -> np.ndarray:
+    """Bin centres of the default voltage histogram grid."""
+    edges = _default_edges(bins, params)
+    return (edges[:-1] + edges[1:]) / 2.0
+
+
+def voltage_histogram(voltages: np.ndarray, bins: int = 200,
+                      params: FlashParameters | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram (relative frequencies) of a voltage sample.
+
+    Returns ``(bin_centers, probabilities)`` with the probabilities summing to
+    one.  Raises if the sample is empty.
+    """
+    voltages = np.asarray(voltages, dtype=float).ravel()
+    if voltages.size == 0:
+        raise ValueError("cannot histogram an empty voltage sample")
+    edges = _default_edges(bins, params)
+    counts, _ = np.histogram(voltages, bins=edges)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("all voltages fall outside the histogram range")
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts / total
+
+
+def conditional_histogram(program_levels: np.ndarray, voltages: np.ndarray,
+                          level: int, bins: int = 200,
+                          params: FlashParameters | None = None
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of the voltages of cells programmed to ``level``."""
+    program_levels = np.asarray(program_levels)
+    voltages = np.asarray(voltages)
+    if program_levels.shape != voltages.shape:
+        raise ValueError("program_levels and voltages must share a shape")
+    if not 0 <= level < NUM_LEVELS:
+        raise ValueError("level must lie in [0, 8)")
+    selected = voltages[program_levels == level]
+    if selected.size == 0:
+        raise ValueError(f"no cells programmed to level {level}")
+    return voltage_histogram(selected, bins=bins, params=params)
+
+
+def conditional_pdfs(program_levels: np.ndarray, voltages: np.ndarray,
+                     levels: tuple[int, ...] = tuple(range(1, NUM_LEVELS)),
+                     bins: int = 200,
+                     params: FlashParameters | None = None
+                     ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Conditional histograms of several program levels at once.
+
+    By default levels 1..7 are estimated, matching Fig. 4 of the paper which
+    omits the erased level ("due to normalization problems of program 0").
+    """
+    return {level: conditional_histogram(program_levels, voltages, level,
+                                         bins=bins, params=params)
+            for level in levels}

@@ -1,0 +1,74 @@
+"""Plain-text rendering of evaluation results.
+
+The benchmark harness prints the rows/series of every figure of the paper; in
+an offline environment without plotting libraries the figures are rendered as
+ASCII tables, bar charts and pie summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_bar_chart", "format_pie_summary"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = " | ".join(column.ljust(width)
+                        for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(cell.ljust(width)
+                       for cell, width in zip(line, widths))
+            for line in rendered]
+    return "\n".join([header, separator, *body])
+
+
+def format_bar_chart(values: Mapping[str, float], width: int = 50,
+                     float_format: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart with labels and values."""
+    if not values:
+        return "(no data)"
+    maximum = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        length = 0 if maximum <= 0 else int(round(width * value / maximum))
+        bar = "#" * length
+        lines.append(f"{str(label).ljust(label_width)} | "
+                     f"{float_format.format(value).rjust(8)} | {bar}")
+    return "\n".join(lines)
+
+
+def format_pie_summary(frequencies: Mapping[str, float], top_k: int = 10,
+                       title: str = "") -> str:
+    """Text rendering of a pie chart: top patterns with percentage shares."""
+    real = {key: value for key, value in frequencies.items()
+            if not str(key).startswith("__")}
+    ordered = sorted(real.items(), key=lambda item: item[1], reverse=True)
+    lines = [title] if title else []
+    shown = ordered[:top_k]
+    for label, value in shown:
+        lines.append(f"  {label}: {100 * value:.1f}%")
+    remainder = sum(value for _, value in ordered[top_k:])
+    if remainder > 0:
+        lines.append(f"  others: {100 * remainder:.1f}%")
+    total = frequencies.get("__total_errors__")
+    if total is not None:
+        lines.append(f"  (total errors observed: {int(total)})")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Shared setup for the experiment drivers.
+
+:class:`ExperimentSetup` bundles everything the figure drivers need — the
+simulated channel ("measured" data source), a paired dataset, and a trained
+conditional generative model — at one of two scales:
+
+* ``"quick"`` (default): 16x16 arrays, narrow networks, a few minutes of
+  CPU training.  Shapes and orderings are reproduced; absolute numbers are
+  noisier than the paper's (see EXPERIMENTS.md).
+* ``"paper"``: the 64x64 / C64..C512 configuration of Remarks 1 and 2.  This
+  is faithful to the paper but is not tractable on CPU within the benchmark
+  harness; it exists so users with patience (or a port of ``repro.nn`` to an
+  accelerated backend) can run the full-scale experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core import (
+    GenerativeChannelModel,
+    ModelConfig,
+    Trainer,
+    build_model,
+)
+from repro.data import FlashChannelDataset, crop_blocks, generate_paired_dataset
+from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+
+__all__ = ["PAPER_PE_CYCLES", "ExperimentSetup"]
+
+#: The read points of the paper's P/E cycling experiment.
+PAPER_PE_CYCLES: tuple[int, ...] = (4000, 7000, 10000)
+
+
+@dataclass
+class ExperimentSetup:
+    """Channel, dataset and trained model shared by the figure drivers."""
+
+    scale: str = "quick"
+    pe_cycles: tuple[int, ...] = PAPER_PE_CYCLES
+    arrays_per_pe: int = 150
+    training_epochs: int = 6
+    seed: int = 0
+    params: FlashParameters = field(default_factory=FlashParameters)
+
+    def __post_init__(self):
+        if self.scale not in ("quick", "paper"):
+            raise ValueError("scale must be 'quick' or 'paper'")
+        self._rng = np.random.default_rng(self.seed)
+        self.channel = FlashChannel(self.params,
+                                    geometry=BlockGeometry(64, 64),
+                                    rng=np.random.default_rng(self.seed + 1))
+        self._dataset: FlashChannelDataset | None = None
+        self._models: dict[str, GenerativeChannelModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def array_size(self) -> int:
+        return 64 if self.scale == "paper" else 16
+
+    def model_config(self) -> ModelConfig:
+        if self.scale == "paper":
+            return ModelConfig.paper()
+        config = ModelConfig.small(self.array_size, epochs=self.training_epochs,
+                                   batch_size=16)
+        # A slightly higher learning rate compensates for the short schedule.
+        return replace(config, learning_rate=1e-3)
+
+    # ------------------------------------------------------------------ #
+    # Data
+    # ------------------------------------------------------------------ #
+    def dataset(self) -> FlashChannelDataset:
+        """Training dataset of paired (PL, VL, P/E) arrays."""
+        if self._dataset is None:
+            self._dataset = generate_paired_dataset(
+                self.channel, pe_cycles=self.pe_cycles,
+                arrays_per_pe=self.arrays_per_pe,
+                array_size=self.array_size)
+        return self._dataset
+
+    def evaluation_arrays(self, pe_cycles: float, num_blocks: int = 10
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Fresh measured evaluation arrays (cropped to the model size)."""
+        program, voltages = self.channel.paired_blocks(num_blocks, pe_cycles)
+        return (crop_blocks(program, self.array_size),
+                crop_blocks(voltages, self.array_size))
+
+    # ------------------------------------------------------------------ #
+    # Models
+    # ------------------------------------------------------------------ #
+    def train_generative_model(self, architecture: str = "cvae_gan",
+                               epochs: int | None = None,
+                               **model_kwargs) -> GenerativeChannelModel:
+        """Train (and cache) a conditional generative channel model."""
+        cache_key = architecture + repr(sorted(model_kwargs.items()))
+        if cache_key in self._models:
+            return self._models[cache_key]
+        config = self.model_config()
+        model = build_model(architecture, config,
+                            rng=np.random.default_rng(self.seed + 2),
+                            **model_kwargs)
+        trainer = Trainer(model, self.dataset(), params=self.params,
+                          rng=np.random.default_rng(self.seed + 3))
+        trainer.train(epochs=epochs if epochs is not None else config.epochs)
+        wrapper = GenerativeChannelModel(
+            model, params=self.params, rng=np.random.default_rng(self.seed + 4))
+        self._models[cache_key] = wrapper
+        return wrapper

@@ -1,0 +1,115 @@
+"""Fig. 5: stacked level error counts of the five channel models.
+
+For each P/E cycle count the figure compares the total error count (stacked
+over program levels 1..7) of the measured data ('M'), the cVAE-GAN ('cV-G'),
+and the three statistical fits: Gaussian ('G'), Normal-Laplace ('NL') and
+Student's t ('S't').  All counts are normalised by the measured total at
+4000 P/E cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.models import BASELINE_MODELS, StatisticalChannelModel
+from repro.core.sampling import GenerativeChannelModel
+from repro.data.dataset import FlashChannelDataset
+from repro.eval.error_counts import error_counts_from_samples
+from repro.eval.report import format_table
+from repro.flash.params import FlashParameters
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+#: Model labels in the order the paper's bars appear.
+MODEL_ORDER = ("M", "cV-G", "G", "NL", "S't")
+
+
+@dataclass
+class Fig5Result:
+    """Normalised per-level error counts for every model and P/E count."""
+
+    counts: dict[int, dict[str, np.ndarray]]
+    normalization_total: float
+
+    def rows(self) -> list[dict]:
+        rows = []
+        for pe, by_model in sorted(self.counts.items()):
+            for label in MODEL_ORDER:
+                if label not in by_model:
+                    continue
+                stacked = by_model[label]
+                row = {"pe_cycles": pe, "model": label,
+                       "total": float(stacked.sum())}
+                for level, value in enumerate(stacked, start=1):
+                    row[f"level_{level}"] = float(value)
+                rows.append(row)
+        return rows
+
+    def totals(self) -> dict[int, dict[str, float]]:
+        return {pe: {label: float(stacks.sum())
+                     for label, stacks in by_model.items()}
+                for pe, by_model in self.counts.items()}
+
+    def format(self) -> str:
+        header = ("Fig. 5 — normalised stacked error counts "
+                  "(reference: measured @ 4000 P/E cycles = 1.0)")
+        return "\n".join([header, format_table(self.rows())])
+
+
+def run_fig5(training_dataset: FlashChannelDataset,
+             evaluation_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
+             generative_model: GenerativeChannelModel | None = None,
+             params: FlashParameters | None = None,
+             baseline_iterations: int = 250,
+             rng: np.random.Generator | None = None) -> Fig5Result:
+    """Regenerate Fig. 5.
+
+    Parameters
+    ----------
+    training_dataset:
+        Paired dataset used to fit the statistical baselines (the same data
+        the generative model was trained on).
+    evaluation_arrays:
+        Mapping from P/E cycle count to measured ``(PL, VL)`` evaluation
+        arrays.
+    generative_model:
+        Trained cVAE-GAN wrapper; omit to skip the 'cV-G' bars.
+    baseline_iterations:
+        Nelder-Mead budget per (level, P/E) fit.
+    """
+    params = params if params is not None else FlashParameters()
+    generator = rng if rng is not None else np.random.default_rng(0)
+
+    baselines: dict[str, StatisticalChannelModel] = {}
+    labels = {"Gaussian": "G", "Normal-Laplace": "NL", "Student's t": "S't"}
+    for model_class in BASELINE_MODELS:
+        fitted = model_class(params).fit(training_dataset,
+                                         max_iterations=baseline_iterations)
+        baselines[labels[model_class.display_name]] = fitted
+
+    counts: dict[int, dict[str, np.ndarray]] = {}
+    for pe, (program, voltages) in sorted(evaluation_arrays.items()):
+        by_model: dict[str, np.ndarray] = {}
+        by_model["M"] = error_counts_from_samples(program, voltages,
+                                                  params=params).astype(float)
+        if generative_model is not None:
+            generated = generative_model.read(program, pe)
+            by_model["cV-G"] = error_counts_from_samples(
+                program, generated, params=params).astype(float)
+        for label, baseline in baselines.items():
+            sampled = baseline.sample(program, pe, rng=generator)
+            by_model[label] = error_counts_from_samples(
+                program, sampled, params=params).astype(float)
+        counts[int(pe)] = by_model
+
+    first_pe = min(counts)
+    reference_total = float(counts[first_pe]["M"].sum())
+    if reference_total <= 0:
+        raise RuntimeError("no measured errors at the first read point; "
+                           "increase the evaluation set size")
+    normalized = {pe: {label: stacks / reference_total
+                       for label, stacks in by_model.items()}
+                  for pe, by_model in counts.items()}
+    return Fig5Result(counts=normalized, normalization_total=reference_total)

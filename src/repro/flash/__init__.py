@@ -1,0 +1,154 @@
+"""TLC NAND flash memory channel simulator.
+
+This package plays the role of the commercial 1X-nm TLC chip and the
+program/erase cycling test platform used in the paper: it produces paired
+(program level, read voltage, P/E cycle) data with the spatio-temporal
+characteristics the paper reports — per-level voltage distributions that widen
+and develop heavier tails as the device wears, and inter-cell interference
+(ICI) from word-line and bit-line neighbours with the bit-line direction
+dominating.
+
+The "measured data" referenced throughout :mod:`repro.experiments` is data
+drawn from :class:`repro.flash.FlashChannel`.
+"""
+
+from repro.flash.cell import (
+    NUM_LEVELS,
+    ERASED_LEVEL,
+    BITS_PER_CELL,
+    LOWER_PAGE,
+    MIDDLE_PAGE,
+    UPPER_PAGE,
+    GRAY_MAP,
+    level_to_bits,
+    bits_to_level,
+    levels_to_pages,
+    pages_to_levels,
+)
+from repro.flash.geometry import BlockGeometry
+from repro.flash.params import FlashParameters
+from repro.flash.wear import WearModel
+from repro.flash.ici import ICIModel
+from repro.flash.voltage import VoltageSampler
+from repro.flash.thresholds import (
+    default_read_thresholds,
+    hard_read,
+    read_threshold_between,
+)
+from repro.flash.channel import FlashChannel
+from repro.flash.patterns import (
+    extract_wordline_patterns,
+    extract_bitline_patterns,
+    pattern_label,
+    count_error_patterns,
+    pattern_relative_frequencies,
+    top_error_pattern_counts,
+    TOP_ERROR_PATTERNS,
+    WORDLINE,
+    BITLINE,
+)
+from repro.flash.errors import (
+    level_error_rate,
+    per_level_error_counts,
+    per_level_error_rates,
+)
+from repro.flash.cycling import PECyclingExperiment, CyclingRecord
+from repro.flash.retention import RetentionModel, RetentionParameters
+from repro.flash.read_disturb import ReadDisturbModel, ReadDisturbParameters
+from repro.flash.technology import (
+    CellTechnology,
+    MultiLevelCellChannel,
+    SLC,
+    MLC,
+    TLC,
+    QLC,
+    reflected_gray_code,
+)
+from repro.flash.calibration import (
+    CalibrationResult,
+    calibrate_thresholds,
+    optimal_threshold_between,
+    optimal_thresholds_from_pdfs,
+    threshold_sweep,
+)
+from repro.flash.pages import (
+    PAGE_NAMES,
+    PageErrorReport,
+    page_bit_error_rates,
+    page_bit_errors,
+    program_pages,
+    read_pages,
+)
+from repro.flash.scrambler import LFSR, Scrambler
+from repro.flash.endurance import (
+    EndurancePoint,
+    EnduranceSweep,
+    estimate_endurance_limit,
+)
+from repro.flash.wear_leveling import ChipWearState, simulate_wear_leveling
+
+__all__ = [
+    "NUM_LEVELS",
+    "ERASED_LEVEL",
+    "BITS_PER_CELL",
+    "LOWER_PAGE",
+    "MIDDLE_PAGE",
+    "UPPER_PAGE",
+    "GRAY_MAP",
+    "level_to_bits",
+    "bits_to_level",
+    "levels_to_pages",
+    "pages_to_levels",
+    "BlockGeometry",
+    "FlashParameters",
+    "WearModel",
+    "ICIModel",
+    "VoltageSampler",
+    "default_read_thresholds",
+    "hard_read",
+    "read_threshold_between",
+    "FlashChannel",
+    "extract_wordline_patterns",
+    "extract_bitline_patterns",
+    "pattern_label",
+    "count_error_patterns",
+    "pattern_relative_frequencies",
+    "top_error_pattern_counts",
+    "TOP_ERROR_PATTERNS",
+    "WORDLINE",
+    "BITLINE",
+    "level_error_rate",
+    "per_level_error_counts",
+    "per_level_error_rates",
+    "PECyclingExperiment",
+    "CyclingRecord",
+    "RetentionModel",
+    "RetentionParameters",
+    "ReadDisturbModel",
+    "ReadDisturbParameters",
+    "CellTechnology",
+    "MultiLevelCellChannel",
+    "SLC",
+    "MLC",
+    "TLC",
+    "QLC",
+    "reflected_gray_code",
+    "CalibrationResult",
+    "calibrate_thresholds",
+    "optimal_threshold_between",
+    "optimal_thresholds_from_pdfs",
+    "threshold_sweep",
+    "PAGE_NAMES",
+    "PageErrorReport",
+    "page_bit_error_rates",
+    "page_bit_errors",
+    "program_pages",
+    "read_pages",
+    "LFSR",
+    "Scrambler",
+    "EndurancePoint",
+    "EnduranceSweep",
+    "estimate_endurance_limit",
+    "ChipWearState",
+    "simulate_wear_leveling",
+]

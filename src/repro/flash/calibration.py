@@ -1,0 +1,205 @@
+"""Read-threshold calibration (read-retry).
+
+The paper evaluates error counts against seven *fixed* default thresholds
+(Fig. 4/5) — that is what makes wear visible as errors.  Real controllers
+fight this by moving the read thresholds as the device ages ("read retry").
+This module provides the calibration machinery a controller (or a channel-
+model consumer) needs:
+
+* per-boundary optimal thresholds estimated from labelled samples
+  (program level, soft voltage) by minimising the misclassification count;
+* per-boundary optimal thresholds computed from analytic/estimated PDFs;
+* a threshold sweep that maps out error rate versus threshold position,
+  the curve a read-retry table is built from.
+
+A key use of a generative channel model is producing the labelled samples for
+this calibration without re-measuring silicon; `examples/threshold_calibration.py`
+demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.errors import level_error_rate
+from repro.flash.params import FlashParameters
+from repro.flash.thresholds import default_read_thresholds
+
+__all__ = [
+    "optimal_threshold_between",
+    "calibrate_thresholds",
+    "optimal_thresholds_from_pdfs",
+    "threshold_sweep",
+    "CalibrationResult",
+]
+
+
+def optimal_threshold_between(lower_voltages: np.ndarray,
+                              upper_voltages: np.ndarray) -> float:
+    """Threshold separating two adjacent levels with minimum error count.
+
+    Given soft voltages of cells programmed to the lower and to the upper
+    level, the optimal single threshold minimises
+    ``#{lower > t} + #{upper <= t}``.  The minimiser is found exactly by
+    sweeping the candidate positions given by the sorted pooled samples.
+    """
+    lower = np.sort(np.asarray(lower_voltages, dtype=float).ravel())
+    upper = np.sort(np.asarray(upper_voltages, dtype=float).ravel())
+    if lower.size == 0 or upper.size == 0:
+        raise ValueError("both levels need at least one sample")
+
+    candidates = np.unique(np.concatenate([lower, upper]))
+    # Errors if the threshold is placed just above each candidate value:
+    # lower-level cells strictly above it err, upper-level cells at or below
+    # it err.  searchsorted gives both counts in O(n log n).
+    lower_errors = lower.size - np.searchsorted(lower, candidates, side="right")
+    upper_errors = np.searchsorted(upper, candidates, side="right")
+    errors = lower_errors + upper_errors
+    best = int(np.argmin(errors))
+    if best + 1 < candidates.size:
+        return float((candidates[best] + candidates[best + 1]) / 2.0)
+    return float(candidates[best] + 1.0)
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a full 7-threshold calibration."""
+
+    thresholds: np.ndarray
+    default_thresholds: np.ndarray
+    error_rate: float
+    default_error_rate: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative error-rate reduction versus the default thresholds."""
+        if self.default_error_rate == 0:
+            return 0.0
+        return 1.0 - self.error_rate / self.default_error_rate
+
+
+def calibrate_thresholds(program_levels: np.ndarray, voltages: np.ndarray,
+                         params: FlashParameters | None = None
+                         ) -> CalibrationResult:
+    """Estimate the seven optimal read thresholds from labelled samples.
+
+    Parameters
+    ----------
+    program_levels, voltages:
+        Paired arrays (any shape) of programmed levels and soft read voltages
+        — measured data or data produced by a generative channel model.
+    params:
+        Flash parameters used for the default-threshold comparison.
+    """
+    levels = np.asarray(program_levels).ravel()
+    volts = np.asarray(voltages, dtype=float).ravel()
+    if levels.shape != volts.shape:
+        raise ValueError("program_levels and voltages must share a shape")
+
+    defaults = default_read_thresholds(params)
+    thresholds = defaults.copy()
+    for boundary in range(NUM_LEVELS - 1):
+        lower = volts[levels == boundary]
+        upper = volts[levels == boundary + 1]
+        if lower.size and upper.size:
+            thresholds[boundary] = optimal_threshold_between(lower, upper)
+    # Calibration must keep the thresholds ordered; if the samples are so
+    # degenerate that boundaries cross, fall back to the default for the
+    # offending boundary.
+    for boundary in range(1, NUM_LEVELS - 1):
+        if thresholds[boundary] <= thresholds[boundary - 1]:
+            thresholds[boundary] = max(defaults[boundary],
+                                       thresholds[boundary - 1] + 1e-6)
+
+    calibrated_rate = level_error_rate(
+        program_levels, voltages, thresholds=thresholds, params=params)
+    default_rate = level_error_rate(
+        program_levels, voltages, thresholds=defaults, params=params)
+    return CalibrationResult(thresholds=thresholds,
+                             default_thresholds=defaults,
+                             error_rate=calibrated_rate,
+                             default_error_rate=default_rate)
+
+
+def optimal_thresholds_from_pdfs(pdfs: np.ndarray, grid: np.ndarray,
+                                 priors: np.ndarray | None = None) -> np.ndarray:
+    """Minimum-error thresholds from per-level PDFs on a common grid.
+
+    Parameters
+    ----------
+    pdfs:
+        Array of shape ``(num_levels, len(grid))`` with the conditional
+        density of each level evaluated on ``grid``.
+    grid:
+        Strictly increasing voltage grid.
+    priors:
+        Optional level priors (defaults to uniform).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``num_levels - 1`` thresholds; boundary ``b`` is placed where the
+        weighted densities of level ``b`` and ``b + 1`` cross (the maximum-
+        a-posteriori decision boundary restricted to adjacent levels).
+    """
+    pdfs = np.asarray(pdfs, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if pdfs.ndim != 2 or pdfs.shape[1] != grid.size:
+        raise ValueError("pdfs must have shape (num_levels, len(grid))")
+    if np.any(np.diff(grid) <= 0):
+        raise ValueError("grid must be strictly increasing")
+    num_levels = pdfs.shape[0]
+    if priors is None:
+        priors = np.full(num_levels, 1.0 / num_levels)
+    priors = np.asarray(priors, dtype=float)
+    if priors.shape != (num_levels,):
+        raise ValueError("priors must have one entry per level")
+
+    thresholds = np.empty(num_levels - 1)
+    for boundary in range(num_levels - 1):
+        lower = priors[boundary] * pdfs[boundary]
+        upper = priors[boundary + 1] * pdfs[boundary + 1]
+        lower_mode = int(np.argmax(lower))
+        upper_mode = int(np.argmax(upper))
+        if upper_mode <= lower_mode:
+            thresholds[boundary] = float((grid[lower_mode] + grid[upper_mode]) / 2)
+            continue
+        # Between the two modes the difference (lower - upper) changes sign
+        # exactly at the decision boundary.
+        window = slice(lower_mode, upper_mode + 1)
+        difference = lower[window] - upper[window]
+        crossing = np.nonzero(difference <= 0)[0]
+        if crossing.size == 0:
+            index = upper_mode
+        else:
+            index = lower_mode + int(crossing[0])
+        thresholds[boundary] = float(grid[index])
+    return thresholds
+
+
+def threshold_sweep(program_levels: np.ndarray, voltages: np.ndarray,
+                    boundary: int, offsets: np.ndarray,
+                    params: FlashParameters | None = None) -> np.ndarray:
+    """Error rate as one threshold is swept around its default position.
+
+    Returns an array of error rates, one per entry of ``offsets`` (voltage
+    offsets added to the default threshold of ``boundary``).  This is the
+    curve a read-retry table samples.
+    """
+    if not 0 <= boundary < NUM_LEVELS - 1:
+        raise ValueError("boundary must be in [0, 7)")
+    offsets = np.asarray(offsets, dtype=float)
+    defaults = default_read_thresholds(params)
+    rates = np.empty(offsets.size)
+    for index, offset in enumerate(offsets):
+        thresholds = defaults.copy()
+        thresholds[boundary] = defaults[boundary] + offset
+        if np.any(np.diff(thresholds) <= 0):
+            rates[index] = np.nan
+            continue
+        rates[index] = level_error_rate(program_levels, voltages,
+                                        thresholds=thresholds, params=params)
+    return rates

@@ -1,0 +1,72 @@
+"""Level error rates and per-level error counts.
+
+A *level error* occurs when the hard read of a cell (its soft voltage
+compared against the seven default thresholds) differs from the level the
+host programmed.  The paper tracks the overall level error rate as a function
+of P/E cycles (Fig. 2, right axis) and the per-level error counts of levels
+1..7 (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.params import FlashParameters
+from repro.flash.thresholds import default_read_thresholds, hard_read
+
+__all__ = [
+    "level_error_rate",
+    "per_level_error_counts",
+    "per_level_error_rates",
+]
+
+
+def _validate(program_levels: np.ndarray, voltages: np.ndarray) -> None:
+    if program_levels.shape != voltages.shape:
+        raise ValueError("program_levels and voltages must share a shape")
+    if program_levels.size == 0:
+        raise ValueError("empty input")
+
+
+def level_error_rate(program_levels: np.ndarray, voltages: np.ndarray,
+                     thresholds: np.ndarray | None = None,
+                     params: FlashParameters | None = None) -> float:
+    """Fraction of cells whose hard read differs from the programmed level."""
+    levels = np.asarray(program_levels)
+    volts = np.asarray(voltages)
+    _validate(levels, volts)
+    if thresholds is None:
+        thresholds = default_read_thresholds(params)
+    hard = hard_read(volts, thresholds)
+    return float(np.mean(hard != levels))
+
+
+def per_level_error_counts(program_levels: np.ndarray, voltages: np.ndarray,
+                           thresholds: np.ndarray | None = None,
+                           params: FlashParameters | None = None) -> np.ndarray:
+    """Number of erroneous cells per program level (length-8 array)."""
+    levels = np.asarray(program_levels)
+    volts = np.asarray(voltages)
+    _validate(levels, volts)
+    if thresholds is None:
+        thresholds = default_read_thresholds(params)
+    hard = hard_read(volts, thresholds)
+    errors = hard != levels
+    counts = np.zeros(NUM_LEVELS, dtype=np.int64)
+    for level in range(NUM_LEVELS):
+        counts[level] = int(np.count_nonzero(errors & (levels == level)))
+    return counts
+
+
+def per_level_error_rates(program_levels: np.ndarray, voltages: np.ndarray,
+                          thresholds: np.ndarray | None = None,
+                          params: FlashParameters | None = None) -> np.ndarray:
+    """Per-level error probability (errors divided by cells at that level)."""
+    levels = np.asarray(program_levels)
+    counts = per_level_error_counts(levels, voltages, thresholds, params)
+    rates = np.zeros(NUM_LEVELS, dtype=float)
+    for level in range(NUM_LEVELS):
+        population = int(np.count_nonzero(levels == level))
+        rates[level] = counts[level] / population if population else 0.0
+    return rates

@@ -1,0 +1,60 @@
+"""Block geometry: the 2-D wordline/bitline grid of Fig. 1 (right)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockGeometry"]
+
+
+@dataclass(frozen=True)
+class BlockGeometry:
+    """Dimensions of a flash block as a 2-D cell array.
+
+    Rows are wordlines (WL) and columns are bitlines (BL); the cell at
+    ``(i, j)`` sits on wordline ``i`` and bitline ``j``.  Moving along a
+    wordline (varying ``j``) gives WL-direction neighbours; moving along a
+    bitline (varying ``i``) gives BL-direction neighbours.
+    """
+
+    num_wordlines: int = 64
+    num_bitlines: int = 64
+
+    def __post_init__(self):
+        if self.num_wordlines < 1 or self.num_bitlines < 1:
+            raise ValueError("block dimensions must be positive")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Array shape ``(num_wordlines, num_bitlines)``."""
+        return (self.num_wordlines, self.num_bitlines)
+
+    @property
+    def num_cells(self) -> int:
+        return self.num_wordlines * self.num_bitlines
+
+    def interior_mask(self) -> np.ndarray:
+        """Boolean mask of cells having all four direct neighbours."""
+        mask = np.zeros(self.shape, dtype=bool)
+        if self.num_wordlines > 2 and self.num_bitlines > 2:
+            mask[1:-1, 1:-1] = True
+        return mask
+
+    def contains(self, wordline: int, bitline: int) -> bool:
+        """Whether ``(wordline, bitline)`` is a valid cell coordinate."""
+        return (0 <= wordline < self.num_wordlines
+                and 0 <= bitline < self.num_bitlines)
+
+    def wordline_neighbours(self, wordline: int,
+                            bitline: int) -> list[tuple[int, int]]:
+        """Direct neighbours along the same wordline (left/right)."""
+        candidates = [(wordline, bitline - 1), (wordline, bitline + 1)]
+        return [cell for cell in candidates if self.contains(*cell)]
+
+    def bitline_neighbours(self, wordline: int,
+                           bitline: int) -> list[tuple[int, int]]:
+        """Direct neighbours along the same bitline (up/down)."""
+        candidates = [(wordline - 1, bitline), (wordline + 1, bitline)]
+        return [cell for cell in candidates if self.contains(*cell)]

@@ -1,0 +1,131 @@
+"""Physical parameters of the simulated TLC flash channel.
+
+The numbers below are not taken from any proprietary datasheet; they are
+chosen so the simulated channel reproduces the qualitative and quantitative
+facts the paper reports about its measured 1X-nm TLC chip:
+
+* read voltages span a "normalized voltage level" axis of roughly 0-650 with
+  seven fixed default read thresholds (Fig. 4);
+* the total level error count at 10000 P/E cycles is ~2.5x the count at 4000
+  P/E cycles, and program level 1 contributes the most errors (Fig. 5);
+* per-level distributions develop heavier-than-Gaussian tails as the device
+  wears, which is why the Normal-Laplace fit beats the Gaussian fit (Fig. 5);
+* errors at erased (level-0) cells are strongly pattern dependent: high-low-
+  high patterns dominate, the bit-line direction is worse than the word-line
+  direction, and 707 is the single worst pattern (Figs. 2 and 6).
+
+All voltages are expressed in the paper's dimensionless "normalized voltage
+level" units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+
+__all__ = ["FlashParameters"]
+
+
+def _default_level_means() -> tuple[float, ...]:
+    return (20.0, 150.0, 220.0, 290.0, 360.0, 430.0, 500.0, 570.0)
+
+
+def _default_level_sigmas() -> tuple[float, ...]:
+    return (8.0, 11.0, 9.8, 9.5, 9.2, 9.0, 8.8, 8.6)
+
+
+@dataclass(frozen=True)
+class FlashParameters:
+    """Tunable parameters of the simulated flash channel.
+
+    Attributes
+    ----------
+    level_means:
+        Nominal (beginning-of-life) mean read voltage of each program level.
+    level_sigmas:
+        Beginning-of-life standard deviation of the Gaussian core of each
+        level.  Level 1 is deliberately the widest programmed level so it
+        dominates the error counts, as in Fig. 5 of the paper.
+    reference_pe_cycles:
+        The P/E cycle count used to normalise wear (10000 in the paper's
+        experiments); ``u = pe / reference_pe_cycles`` is the wear variable.
+    sigma_growth:
+        Fractional growth of the Gaussian core width at ``u = 1``.
+    erased_drift:
+        Upward drift (in voltage units at ``u = 1``) of the erased level due
+        to trapped charge accumulating over P/E cycling.
+    programmed_drift:
+        Maximum downward drift of programmed levels at ``u = 1``; the drift of
+        level ``l`` is ``programmed_drift * l / 7`` (charge loss is
+        proportional to stored charge).
+    tail_probability_base, tail_probability_growth:
+        Probability that a programmed cell's noise is drawn from the heavy
+        Laplace tail instead of the Gaussian core: ``base + growth * u``.
+    tail_scale_multiplier:
+        The Laplace tail scale is ``multiplier * sigma`` of the level.
+    wl_coupling, bl_coupling:
+        Inter-cell interference coupling ratios for word-line and bit-line
+        neighbours.  The bit-line coupling is larger, matching the paper's
+        observation that BL patterns are the most error prone.
+    ici_program_attenuation:
+        Fraction of the ICI shift retained by programmed (non-erased) victim
+        cells.  Program-verify compensates most of the interference a
+        programmed cell receives, while erased cells receive the full shift.
+    program_error_rate:
+        Probability that a cell is mis-programmed to an adjacent level during
+        the program operation (small, P/E independent).
+    voltage_min, voltage_max:
+        Clipping range of the read voltages (the ADC range of the reader).
+    """
+
+    level_means: tuple[float, ...] = field(default_factory=_default_level_means)
+    level_sigmas: tuple[float, ...] = field(default_factory=_default_level_sigmas)
+    reference_pe_cycles: float = 10000.0
+    sigma_growth: float = 0.20
+    erased_drift: float = 5.0
+    programmed_drift: float = 6.0
+    tail_probability_base: float = 0.0015
+    tail_probability_growth: float = 0.045
+    tail_scale_multiplier: float = 2.0
+    wl_coupling: float = 0.022
+    bl_coupling: float = 0.034
+    ici_program_attenuation: float = 0.10
+    program_error_rate: float = 2.0e-4
+    voltage_min: float = 0.0
+    voltage_max: float = 650.0
+
+    def __post_init__(self):
+        if len(self.level_means) != NUM_LEVELS:
+            raise ValueError(f"level_means must have {NUM_LEVELS} entries")
+        if len(self.level_sigmas) != NUM_LEVELS:
+            raise ValueError(f"level_sigmas must have {NUM_LEVELS} entries")
+        if list(self.level_means) != sorted(self.level_means):
+            raise ValueError("level_means must be strictly increasing")
+        if any(sigma <= 0 for sigma in self.level_sigmas):
+            raise ValueError("level_sigmas must be positive")
+        if self.reference_pe_cycles <= 0:
+            raise ValueError("reference_pe_cycles must be positive")
+        if not 0 <= self.ici_program_attenuation <= 1:
+            raise ValueError("ici_program_attenuation must lie in [0, 1]")
+        if not 0 <= self.program_error_rate < 1:
+            raise ValueError("program_error_rate must lie in [0, 1)")
+        if self.voltage_max <= self.voltage_min:
+            raise ValueError("voltage_max must exceed voltage_min")
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def means_array(self) -> np.ndarray:
+        return np.asarray(self.level_means, dtype=float)
+
+    @property
+    def sigmas_array(self) -> np.ndarray:
+        return np.asarray(self.level_sigmas, dtype=float)
+
+    def normalized_wear(self, pe_cycles: float | np.ndarray) -> np.ndarray:
+        """Wear variable ``u = pe / reference_pe_cycles`` (not clipped)."""
+        return np.asarray(pe_cycles, dtype=float) / self.reference_pe_cycles

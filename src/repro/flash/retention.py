@@ -1,0 +1,141 @@
+"""Data-retention (charge-loss) model.
+
+Retention loss is the slow leakage of charge off the floating gate while the
+device sits idle after programming.  The paper's measurement campaign reads
+blocks back immediately ("in a continuous manner with no wait time"), so
+retention does not appear in its figures, but it is the other major temporal
+distortion of the flash channel and any practical channel model (or ECC/
+constrained-code study built on top of one) needs it.  The model below follows
+the empirical behaviour reported in the retention literature the paper cites
+(Cai et al., Luo et al.):
+
+* programmed levels drift **downward** by an amount that grows roughly
+  logarithmically with retention time and linearly with the amount of stored
+  charge (higher levels lose more charge);
+* the drift is amplified by P/E-cycling wear — a heavily cycled block loses
+  charge faster because the tunnel oxide is damaged;
+* the voltage distributions also widen, because individual cells leak at
+  different rates.
+
+The erased level is essentially unaffected: it holds little charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.cell import ERASED_LEVEL, NUM_LEVELS
+from repro.flash.params import FlashParameters
+
+__all__ = ["RetentionParameters", "RetentionModel"]
+
+
+@dataclass(frozen=True)
+class RetentionParameters:
+    """Tunable parameters of the retention-loss model.
+
+    Attributes
+    ----------
+    reference_hours:
+        Retention time at which ``drift_scale`` applies; the drift grows as
+        ``log1p(t / t0) / log1p(1)`` so it is zero at ``t = 0`` and equals the
+        nominal drift at ``t = reference_hours``.
+    drift_scale:
+        Downward mean shift (voltage units) of the highest level after
+        ``reference_hours`` of retention on a fresh (zero-wear) block.
+    wear_acceleration:
+        Additional fractional drift per unit of normalised wear; a block at
+        the reference P/E count loses ``1 + wear_acceleration`` times the
+        charge of a fresh block.
+    sigma_growth:
+        Fractional growth of the per-level standard deviation at the
+        reference retention time (cell-to-cell leakage variation).
+    """
+
+    reference_hours: float = 1000.0
+    drift_scale: float = 18.0
+    wear_acceleration: float = 1.5
+    sigma_growth: float = 0.25
+
+    def __post_init__(self):
+        if self.reference_hours <= 0:
+            raise ValueError("reference_hours must be positive")
+        if self.drift_scale < 0:
+            raise ValueError("drift_scale must be non-negative")
+        if self.wear_acceleration < 0:
+            raise ValueError("wear_acceleration must be non-negative")
+        if self.sigma_growth < 0:
+            raise ValueError("sigma_growth must be non-negative")
+
+
+class RetentionModel:
+    """Charge-loss drift and spread as a function of retention time."""
+
+    def __init__(self, params: FlashParameters | None = None,
+                 retention: RetentionParameters | None = None):
+        self.params = params if params is not None else FlashParameters()
+        self.retention = (retention if retention is not None
+                          else RetentionParameters())
+
+    # ------------------------------------------------------------------ #
+    # Deterministic components
+    # ------------------------------------------------------------------ #
+    def time_factor(self, retention_hours: float) -> float:
+        """Normalised retention severity in [0, inf): 0 at t=0, 1 at t0."""
+        if retention_hours < 0:
+            raise ValueError("retention_hours must be non-negative")
+        t0 = self.retention.reference_hours
+        return float(np.log1p(retention_hours / t0) / np.log1p(1.0))
+
+    def wear_factor(self, pe_cycles: float) -> float:
+        """Wear amplification of the charge loss (1 for a fresh block)."""
+        wear = float(self.params.normalized_wear(pe_cycles))
+        return 1.0 + self.retention.wear_acceleration * wear
+
+    def mean_shift(self, program_levels: np.ndarray, pe_cycles: float,
+                   retention_hours: float) -> np.ndarray:
+        """Downward mean shift of every cell (non-positive values)."""
+        levels = np.asarray(program_levels)
+        severity = self.time_factor(retention_hours) * self.wear_factor(pe_cycles)
+        # Charge loss is proportional to stored charge: level l loses
+        # drift_scale * l / 7 at unit severity; the erased level loses nothing.
+        per_level = -self.retention.drift_scale * severity \
+            * np.arange(NUM_LEVELS, dtype=float) / (NUM_LEVELS - 1)
+        per_level[ERASED_LEVEL] = 0.0
+        return per_level[levels]
+
+    def sigma_inflation(self, retention_hours: float) -> float:
+        """Multiplicative widening of the noise due to leakage variation."""
+        return 1.0 + self.retention.sigma_growth * self.time_factor(retention_hours)
+
+    # ------------------------------------------------------------------ #
+    # Application to sampled voltages
+    # ------------------------------------------------------------------ #
+    def apply(self, voltages: np.ndarray, program_levels: np.ndarray,
+              pe_cycles: float, retention_hours: float,
+              rng: np.random.Generator | None = None) -> np.ndarray:
+        """Apply retention loss to already-sampled read voltages.
+
+        The deterministic drift from :meth:`mean_shift` is added, plus a
+        zero-mean Gaussian leakage-variation term whose width corresponds to
+        the extra spread of :meth:`sigma_inflation`.
+        """
+        volts = np.asarray(voltages, dtype=float)
+        levels = np.asarray(program_levels)
+        if volts.shape != levels.shape:
+            raise ValueError("voltages and program_levels must share a shape")
+        if retention_hours == 0:
+            return volts.copy()
+        generator = rng if rng is not None else np.random.default_rng()
+
+        shift = self.mean_shift(levels, pe_cycles, retention_hours)
+        base_sigma = self.params.sigmas_array[levels]
+        inflation = self.sigma_inflation(retention_hours)
+        extra_sigma = base_sigma * np.sqrt(max(inflation ** 2 - 1.0, 0.0))
+        extra_sigma = np.where(levels == ERASED_LEVEL, 0.0, extra_sigma)
+        leakage_noise = generator.normal(0.0, 1.0, size=volts.shape) * extra_sigma
+
+        shifted = volts + shift + leakage_noise
+        return np.clip(shifted, self.params.voltage_min, self.params.voltage_max)

@@ -1,0 +1,124 @@
+"""Data randomiser (scrambler).
+
+Real controllers XOR host data with a pseudo-random sequence before
+programming so the level usage of a block is balanced regardless of the host
+payload — otherwise pathological payloads (all zeros, repeated patterns)
+would concentrate ICI-prone patterns.  The paper's measurement campaign
+programs "pseudo-random data" for the same reason; this module makes that
+step explicit and reversible, which matters for end-to-end experiments that
+push real payloads through the simulated channel (ECC evaluation, constrained
+coding).
+
+The sequence generator is a Fibonacci LFSR with a configurable tap polynomial
+(default x^16 + x^14 + x^13 + x^11 + 1, a maximum-length polynomial).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import BITS_PER_CELL, levels_to_pages, pages_to_levels
+
+__all__ = ["LFSR", "Scrambler"]
+
+
+class LFSR:
+    """Fibonacci linear-feedback shift register over GF(2)."""
+
+    def __init__(self, seed: int = 0xACE1,
+                 taps: tuple[int, ...] = (16, 14, 13, 11),
+                 width: int = 16):
+        if width < 2:
+            raise ValueError("width must be at least 2")
+        if not 0 < seed < 2 ** width:
+            raise ValueError("seed must be a non-zero state of the register")
+        if not taps or any(not 1 <= tap <= width for tap in taps):
+            raise ValueError("taps must be positions in [1, width]")
+        self.width = width
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self._initial_state = seed
+        self.state = seed
+
+    def reset(self) -> None:
+        """Return the register to its seed state."""
+        self.state = self._initial_state
+
+    def next_bit(self) -> int:
+        """Advance the register one step and return the output bit.
+
+        A tap at polynomial exponent ``t`` reads state bit ``width - t``
+        (the canonical Fibonacci convention), so the default taps realise the
+        maximum-length polynomial x^16 + x^14 + x^13 + x^11 + 1.
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        output = self.state & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return output
+
+    def bits(self, count: int) -> np.ndarray:
+        """The next ``count`` output bits as a uint8 array."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.array([self.next_bit() for _ in range(count)], dtype=np.uint8)
+
+    def period(self, limit: int | None = None) -> int:
+        """Number of steps until the state repeats (maximal is 2**width - 1)."""
+        maximum = limit if limit is not None else 2 ** self.width
+        start = self.state
+        for step in range(1, maximum + 1):
+            self.next_bit()
+            if self.state == start:
+                return step
+        return maximum
+
+
+class Scrambler:
+    """XOR-based data randomiser operating on page bits or program levels."""
+
+    def __init__(self, seed: int = 0xACE1):
+        self.seed = seed
+
+    def _keystream(self, num_bits: int) -> np.ndarray:
+        lfsr = LFSR(seed=self.seed)
+        return lfsr.bits(num_bits)
+
+    # ------------------------------------------------------------------ #
+    # Bit-level interface
+    # ------------------------------------------------------------------ #
+    def scramble_bits(self, bits: np.ndarray) -> np.ndarray:
+        """XOR a bit array with the keystream (shape preserved)."""
+        data = np.asarray(bits)
+        if data.size and not np.isin(data, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        keystream = self._keystream(data.size).reshape(data.shape)
+        return (data ^ keystream).astype(data.dtype)
+
+    def descramble_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`scramble_bits` (XOR is an involution)."""
+        return self.scramble_bits(bits)
+
+    # ------------------------------------------------------------------ #
+    # Level-level interface
+    # ------------------------------------------------------------------ #
+    def scramble_levels(self, program_levels: np.ndarray) -> np.ndarray:
+        """Scramble the page bits underlying an array of program levels."""
+        levels = np.asarray(program_levels)
+        pages = levels_to_pages(levels)
+        flat = pages.reshape(-1, BITS_PER_CELL)
+        scrambled = self.scramble_bits(flat.ravel()).reshape(flat.shape)
+        return pages_to_levels(scrambled.reshape(pages.shape))
+
+    def descramble_levels(self, program_levels: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`scramble_levels`."""
+        return self.scramble_levels(program_levels)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def level_balance(self, program_levels: np.ndarray) -> np.ndarray:
+        """Relative frequency of each level after scrambling ``program_levels``."""
+        scrambled = self.scramble_levels(program_levels)
+        counts = np.bincount(scrambled.ravel(), minlength=2 ** BITS_PER_CELL)
+        return counts / max(scrambled.size, 1)

@@ -1,0 +1,205 @@
+"""Multi-level cell technologies: SLC, MLC, TLC, QLC (and beyond).
+
+The paper studies a 3-bit-per-cell (TLC) device and argues that the
+data-driven modelling approach "can be flexibly applied to flash memories of
+any technology generation and scale".  This module provides the cell-level
+machinery needed to exercise that claim: an n-bit cell technology description,
+reflected Gray mappings between levels and page bits, and a simple
+isolated-cell channel for any bit density, so error-rate versus bit-density
+studies (the classic SLC/MLC/TLC/QLC endurance trade-off) can be run against
+the same evaluation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "reflected_gray_code",
+    "gray_level_to_bits",
+    "gray_bits_to_level",
+    "CellTechnology",
+    "SLC",
+    "MLC",
+    "TLC",
+    "QLC",
+    "MultiLevelCellChannel",
+]
+
+
+def reflected_gray_code(bits: int) -> list[int]:
+    """The standard reflected Gray code over ``2**bits`` values.
+
+    Entry ``i`` is the codeword assigned to level ``i``; adjacent levels
+    differ in exactly one bit, which is the property real flash mappings rely
+    on so a single-threshold read error corrupts only one page.
+    """
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    return [i ^ (i >> 1) for i in range(2 ** bits)]
+
+
+def gray_level_to_bits(level: int, bits: int) -> tuple[int, ...]:
+    """Bits (MSB first) stored by ``level`` under the reflected Gray map."""
+    code = reflected_gray_code(bits)
+    if not 0 <= level < len(code):
+        raise ValueError(f"level must lie in [0, {len(code)})")
+    word = code[level]
+    return tuple((word >> (bits - 1 - position)) & 1
+                 for position in range(bits))
+
+
+def gray_bits_to_level(bit_values: tuple[int, ...] | list[int]) -> int:
+    """Inverse of :func:`gray_level_to_bits`."""
+    bits = len(bit_values)
+    if bits < 1:
+        raise ValueError("at least one bit is required")
+    if any(value not in (0, 1) for value in bit_values):
+        raise ValueError("bit values must be 0 or 1")
+    word = 0
+    for value in bit_values:
+        word = (word << 1) | int(value)
+    return reflected_gray_code(bits).index(word)
+
+
+@dataclass(frozen=True)
+class CellTechnology:
+    """An n-bit-per-cell flash technology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("SLC", "MLC", ...).
+    bits_per_cell:
+        Number of bits stored per cell; the number of program levels is
+        ``2 ** bits_per_cell``.
+    voltage_window:
+        Total voltage range (in the paper's normalised units) available to
+        place the levels in.  The window is shared by all technologies, which
+        is exactly why higher bit densities are less reliable: the same window
+        must accommodate more, narrower levels.
+    erased_mean:
+        Mean voltage of the erased state.
+    sigma:
+        Beginning-of-life standard deviation of every level's voltage.
+    sigma_growth:
+        Fractional widening of the distributions at the reference wear.
+    reference_pe_cycles:
+        P/E count corresponding to unit wear.
+    """
+
+    name: str
+    bits_per_cell: int
+    voltage_window: float = 550.0
+    erased_mean: float = 20.0
+    sigma: float = 9.0
+    sigma_growth: float = 0.20
+    reference_pe_cycles: float = 10000.0
+
+    def __post_init__(self):
+        if self.bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be positive")
+        if self.voltage_window <= 0:
+            raise ValueError("voltage_window must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.reference_pe_cycles <= 0:
+            raise ValueError("reference_pe_cycles must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        return 2 ** self.bits_per_cell
+
+    def level_means(self) -> np.ndarray:
+        """Evenly spaced level means across the voltage window."""
+        return self.erased_mean + self.voltage_window * np.arange(
+            self.num_levels, dtype=float) / (self.num_levels - 1)
+
+    def read_thresholds(self) -> np.ndarray:
+        """Midpoint thresholds between adjacent level means."""
+        means = self.level_means()
+        return (means[:-1] + means[1:]) / 2.0
+
+    def gray_map(self) -> dict[int, tuple[int, ...]]:
+        """Level -> page-bit tuple under the reflected Gray code."""
+        return {level: gray_level_to_bits(level, self.bits_per_cell)
+                for level in range(self.num_levels)}
+
+
+#: The four mainstream technologies.
+SLC = CellTechnology("SLC", 1)
+MLC = CellTechnology("MLC", 2)
+TLC = CellTechnology("TLC", 3)
+QLC = CellTechnology("QLC", 4)
+
+
+class MultiLevelCellChannel:
+    """Isolated-cell read channel for an arbitrary bit density.
+
+    This is a deliberately simple (Gaussian, no ICI) channel: its purpose is
+    cross-technology comparison, not faithful spatial modelling — that is what
+    :class:`repro.flash.FlashChannel` (TLC) and the generative model are for.
+    """
+
+    def __init__(self, technology: CellTechnology,
+                 rng: np.random.Generator | None = None):
+        self.technology = technology
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def sigma_at(self, pe_cycles: float) -> float:
+        """Per-level standard deviation at the given wear."""
+        if pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        wear = pe_cycles / self.technology.reference_pe_cycles
+        return self.technology.sigma * (1.0 + self.technology.sigma_growth * wear)
+
+    def read(self, program_levels: np.ndarray, pe_cycles: float) -> np.ndarray:
+        """Soft read voltages for an array of program levels."""
+        levels = np.asarray(program_levels)
+        if levels.size and (levels.min() < 0
+                            or levels.max() >= self.technology.num_levels):
+            raise ValueError("program levels out of range for this technology")
+        means = self.technology.level_means()[levels]
+        sigma = self.sigma_at(pe_cycles)
+        return means + self.rng.normal(0.0, sigma, size=levels.shape)
+
+    def hard_read(self, voltages: np.ndarray) -> np.ndarray:
+        """Quantise soft voltages against the technology's thresholds."""
+        return np.searchsorted(self.technology.read_thresholds(),
+                               np.asarray(voltages), side="left")
+
+    def level_error_rate(self, pe_cycles: float, num_cells: int = 100000,
+                         rng: np.random.Generator | None = None) -> float:
+        """Monte-Carlo level error rate at one P/E count."""
+        if num_cells < 1:
+            raise ValueError("num_cells must be positive")
+        generator = rng if rng is not None else self.rng
+        levels = generator.integers(0, self.technology.num_levels,
+                                    size=num_cells)
+        voltages = self.read(levels, pe_cycles)
+        return float(np.mean(self.hard_read(voltages) != levels))
+
+    def analytic_level_error_rate(self, pe_cycles: float) -> float:
+        """Closed-form error rate under the Gaussian model.
+
+        Each interior level can err across two thresholds, the two edge levels
+        across one; levels are assumed equiprobable.
+        """
+        from scipy.stats import norm
+
+        means = self.technology.level_means()
+        thresholds = self.technology.read_thresholds()
+        sigma = self.sigma_at(pe_cycles)
+        num_levels = self.technology.num_levels
+        total = 0.0
+        for level in range(num_levels):
+            mean = means[level]
+            probability = 0.0
+            if level > 0:
+                probability += norm.cdf(thresholds[level - 1], mean, sigma)
+            if level < num_levels - 1:
+                probability += norm.sf(thresholds[level], mean, sigma)
+            total += probability
+        return total / num_levels

@@ -1,0 +1,57 @@
+"""Default read thresholds and hard-read decisions.
+
+The paper evaluates level error counts against "7 default read thresholds"
+(the dash-dotted vertical lines of Fig. 4).  Here the default thresholds are
+placed at the beginning-of-life midpoints between adjacent level means and
+kept fixed across P/E cycles — exactly the setting in which wear-induced
+drift and widening create read errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.params import FlashParameters
+
+__all__ = ["default_read_thresholds", "hard_read", "read_threshold_between"]
+
+
+def default_read_thresholds(params: FlashParameters | None = None) -> np.ndarray:
+    """The seven fixed read thresholds separating the eight levels."""
+    params = params if params is not None else FlashParameters()
+    means = params.means_array
+    return (means[:-1] + means[1:]) / 2.0
+
+
+def read_threshold_between(lower_level: int, upper_level: int,
+                           params: FlashParameters | None = None) -> float:
+    """Threshold Vth(l, l+1) separating two adjacent levels.
+
+    ``read_threshold_between(0, 1)`` is the paper's Vth(01), used to decide
+    whether an erased cell has been pushed into level 1 by ICI.
+    """
+    if upper_level != lower_level + 1:
+        raise ValueError("thresholds exist only between adjacent levels")
+    if not 0 <= lower_level < NUM_LEVELS - 1:
+        raise ValueError("lower_level must be in [0, 7)")
+    return float(default_read_thresholds(params)[lower_level])
+
+
+def hard_read(voltages: np.ndarray,
+              thresholds: np.ndarray | None = None,
+              params: FlashParameters | None = None) -> np.ndarray:
+    """Quantise soft read voltages into hard program levels.
+
+    A voltage below the first threshold reads as level 0; a voltage above the
+    last threshold reads as level 7.
+    """
+    if thresholds is None:
+        thresholds = default_read_thresholds(params)
+    thresholds = np.asarray(thresholds, dtype=float)
+    if thresholds.shape != (NUM_LEVELS - 1,):
+        raise ValueError(f"expected {NUM_LEVELS - 1} thresholds, "
+                         f"got shape {thresholds.shape}")
+    if np.any(np.diff(thresholds) <= 0):
+        raise ValueError("thresholds must be strictly increasing")
+    return np.searchsorted(thresholds, np.asarray(voltages), side="left")

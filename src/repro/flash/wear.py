@@ -1,0 +1,74 @@
+"""Temporal (P/E-cycling) wear model.
+
+The wear model maps a P/E cycle count to the per-level parameters of the read
+voltage distribution: the mean (drift), the Gaussian core width (growth) and
+the heavy-tail mixture weight.  These are the "temporal distortions arising
+from P/E cycling" the paper models with the P/E conditioning vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.cell import ERASED_LEVEL, NUM_LEVELS
+from repro.flash.params import FlashParameters
+
+__all__ = ["WearModel"]
+
+
+class WearModel:
+    """Per-level distribution parameters as a function of P/E cycles."""
+
+    def __init__(self, params: FlashParameters | None = None):
+        self.params = params if params is not None else FlashParameters()
+
+    # ------------------------------------------------------------------ #
+    # Per-level parameters
+    # ------------------------------------------------------------------ #
+    def level_means(self, pe_cycles: float) -> np.ndarray:
+        """Mean read voltage of every level at the given P/E cycle count.
+
+        The erased level drifts upward (trapped charge accumulates in the
+        tunnel oxide), programmed levels drift slightly downward with a drift
+        proportional to the stored charge.
+        """
+        params = self.params
+        wear = float(params.normalized_wear(pe_cycles))
+        means = params.means_array.copy()
+        means[ERASED_LEVEL] += params.erased_drift * wear
+        levels = np.arange(NUM_LEVELS, dtype=float)
+        programmed_shift = params.programmed_drift * wear * levels / (NUM_LEVELS - 1)
+        programmed_shift[ERASED_LEVEL] = 0.0
+        means -= programmed_shift
+        return means
+
+    def level_sigmas(self, pe_cycles: float) -> np.ndarray:
+        """Gaussian core standard deviation of every level."""
+        params = self.params
+        wear = float(params.normalized_wear(pe_cycles))
+        return params.sigmas_array * (1.0 + params.sigma_growth * wear)
+
+    def tail_probability(self, pe_cycles: float) -> float:
+        """Probability that a programmed cell's noise comes from the tail."""
+        params = self.params
+        wear = float(params.normalized_wear(pe_cycles))
+        probability = params.tail_probability_base \
+            + params.tail_probability_growth * wear
+        return float(np.clip(probability, 0.0, 1.0))
+
+    def tail_scales(self, pe_cycles: float) -> np.ndarray:
+        """Laplace tail scale of every level."""
+        return self.level_sigmas(pe_cycles) * self.params.tail_scale_multiplier
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def describe(self, pe_cycles: float) -> dict[str, np.ndarray | float]:
+        """All wear-dependent parameters at one P/E cycle count."""
+        return {
+            "pe_cycles": float(pe_cycles),
+            "means": self.level_means(pe_cycles),
+            "sigmas": self.level_sigmas(pe_cycles),
+            "tail_probability": self.tail_probability(pe_cycles),
+            "tail_scales": self.tail_scales(pe_cycles),
+        }

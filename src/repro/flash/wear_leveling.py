@@ -1,0 +1,136 @@
+"""Wear levelling across the blocks of a chip.
+
+A single block's error rate is set by its own P/E count (the quantity the
+paper models); the *chip-level* reliability is set by how evenly the
+controller spreads erase cycles over its blocks.  This module provides a
+small multi-block wear model and two placement policies so that chip-level
+questions ("how much endurance does wear levelling buy?") can be answered
+with the same channel model the paper builds:
+
+* ``round_robin`` — erase counts stay perfectly balanced (ideal levelling);
+* ``greedy_min_wear`` — always write the least-worn block (classic dynamic
+  wear levelling);
+* ``hot_block`` — a pathological baseline that keeps hammering the same few
+  blocks, which is what happens without levelling when the host rewrites a
+  hot logical range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.channel import FlashChannel
+from repro.flash.errors import level_error_rate
+from repro.flash.params import FlashParameters
+
+__all__ = ["WearLevelingPolicy", "ChipWearState", "simulate_wear_leveling"]
+
+#: Supported placement policies.
+WearLevelingPolicy = str
+POLICIES: tuple[str, ...] = ("round_robin", "greedy_min_wear", "hot_block")
+
+
+@dataclass
+class ChipWearState:
+    """Per-block erase counts of a chip after a write workload."""
+
+    erase_counts: np.ndarray
+    policy: str
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.erase_counts.size)
+
+    @property
+    def total_erases(self) -> int:
+        return int(self.erase_counts.sum())
+
+    @property
+    def max_erase_count(self) -> int:
+        return int(self.erase_counts.max())
+
+    @property
+    def wear_imbalance(self) -> float:
+        """Max-to-mean ratio of the erase counts (1.0 is perfectly even)."""
+        mean = self.erase_counts.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.erase_counts.max() / mean)
+
+    def worst_block_error_rate(self, channel: FlashChannel,
+                               num_blocks: int = 2,
+                               params: FlashParameters | None = None) -> float:
+        """Level error rate of the most-worn block under ``channel``."""
+        program, voltages = channel.paired_blocks(num_blocks,
+                                                  self.max_erase_count)
+        return level_error_rate(program, voltages, params=params)
+
+
+def _next_block(policy: str, erase_counts: np.ndarray, write_index: int,
+                hot_fraction: float, rng: np.random.Generator) -> int:
+    if policy == "round_robin":
+        return write_index % erase_counts.size
+    if policy == "greedy_min_wear":
+        return int(np.argmin(erase_counts))
+    if policy == "hot_block":
+        hot_blocks = max(1, int(round(hot_fraction * erase_counts.size)))
+        return int(rng.integers(0, hot_blocks))
+    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+
+
+def simulate_wear_leveling(num_blocks: int, num_writes: int,
+                           policy: WearLevelingPolicy = "greedy_min_wear",
+                           hot_fraction: float = 0.1,
+                           initial_erase_counts: np.ndarray | None = None,
+                           rng: np.random.Generator | None = None
+                           ) -> ChipWearState:
+    """Distribute ``num_writes`` block writes over a chip and track wear.
+
+    Each write erases exactly one block (a block write in a log-structured
+    controller).  The function only tracks erase counts; pair it with a
+    :class:`~repro.flash.channel.FlashChannel` (via
+    :meth:`ChipWearState.worst_block_error_rate`) to turn the wear profile
+    into error rates.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of physical blocks on the chip.
+    num_writes:
+        Number of block writes in the workload.
+    policy:
+        One of ``"round_robin"``, ``"greedy_min_wear"``, ``"hot_block"``.
+    hot_fraction:
+        For the ``hot_block`` policy: the fraction of blocks the workload
+        keeps rewriting.
+    initial_erase_counts:
+        Optional pre-existing wear (e.g. a chip that already served another
+        workload); defaults to a fresh chip.
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be positive")
+    if num_writes < 0:
+        raise ValueError("num_writes must be non-negative")
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must lie in (0, 1]")
+    generator = rng if rng is not None else np.random.default_rng()
+
+    if initial_erase_counts is None:
+        erase_counts = np.zeros(num_blocks, dtype=np.int64)
+    else:
+        erase_counts = np.asarray(initial_erase_counts, dtype=np.int64).copy()
+        if erase_counts.shape != (num_blocks,):
+            raise ValueError("initial_erase_counts must have one entry per "
+                             "block")
+        if np.any(erase_counts < 0):
+            raise ValueError("erase counts must be non-negative")
+
+    for write_index in range(num_writes):
+        block = _next_block(policy, erase_counts, write_index, hot_fraction,
+                            generator)
+        erase_counts[block] += 1
+    return ChipWearState(erase_counts=erase_counts, policy=policy)

@@ -1,0 +1,56 @@
+"""Gradient clipping utilities.
+
+GAN training on a small CPU budget is sensitive to the occasional exploding
+discriminator gradient; clipping by global norm or by value keeps the Adam
+updates bounded without changing the architecture.  Both helpers operate in
+place on the ``grad`` buffers of a parameter list (anything returned by
+``Module.parameters()``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["global_grad_norm", "clip_grad_norm", "clip_grad_value"]
+
+
+def _with_grads(parameters: Iterable[Tensor]) -> Sequence[Tensor]:
+    collected = [p for p in parameters if p.grad is not None]
+    return collected
+
+
+def global_grad_norm(parameters: Iterable[Tensor]) -> float:
+    """L2 norm of all gradients concatenated (0.0 if nothing has a gradient)."""
+    total = 0.0
+    for parameter in _with_grads(parameters):
+        total += float(np.sum(parameter.grad.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm *before* clipping (the PyTorch convention), so training
+    loops can log it.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    parameters = list(parameters)
+    norm = global_grad_norm(parameters)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for parameter in _with_grads(parameters):
+            parameter.grad = parameter.grad * scale
+    return norm
+
+
+def clip_grad_value(parameters: Iterable[Tensor], max_value: float) -> None:
+    """Clamp every gradient entry to ``[-max_value, max_value]`` in place."""
+    if max_value <= 0:
+        raise ValueError("max_value must be positive")
+    for parameter in _with_grads(parameters):
+        parameter.grad = np.clip(parameter.grad, -max_value, max_value)

@@ -1,0 +1,207 @@
+"""Convolutional primitives for the NumPy autograd engine.
+
+Convolutions are implemented with the classic im2col / col2im lowering, which
+turns the spatial convolution into a single matrix multiplication per batch.
+Both :func:`conv2d` and :func:`conv_transpose2d` follow the PyTorch weight
+layout conventions so the model code in :mod:`repro.core` can be read against
+the reference pix2pix / BicycleGAN implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv_transpose2d",
+    "conv_output_size",
+    "conv_transpose_output_size",
+    "avg_pool2d",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def conv_transpose_output_size(size: int, kernel: int, stride: int,
+                               padding: int) -> int:
+    """Spatial output size of a transposed convolution along one dimension."""
+    return (size - 1) * stride - 2 * padding + kernel
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower an NCHW array into convolution columns.
+
+    Returns an array of shape ``(N, C * kernel * kernel, H_out * W_out)``.
+    """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back onto an NCHW grid."""
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+
+    cols = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    result = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            result[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        result = result[:, :, padding:-padding, padding:-padding]
+    return result
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, K, K)``.
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    """
+    batch, in_channels, height, width = x.shape
+    out_channels, weight_in, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if weight_in != in_channels:
+        raise ValueError(f"weight expects {weight_in} input channels, "
+                         f"got {in_channels}")
+
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+
+    cols = im2col(x.data, kernel, stride, padding)
+    weight_flat = weight.data.reshape(out_channels, -1)
+    # (N, C_out, H_out * W_out)
+    out_data = np.einsum("oc,ncl->nol", weight_flat, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1)
+    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+
+    parents = [x, weight] if bias is None else [x, weight, bias]
+    out = x._make_child(out_data, parents, "conv2d")
+    if out.requires_grad:
+        input_shape = x.shape
+
+        def _backward():
+            grad_out = out.grad.reshape(batch, out_channels, -1)
+            if weight.requires_grad:
+                grad_weight = np.einsum("nol,ncl->oc", grad_out, cols,
+                                        optimize=True)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_out.sum(axis=(0, 2)))
+            if x.requires_grad:
+                grad_cols = np.einsum("oc,nol->ncl", weight_flat, grad_out,
+                                      optimize=True)
+                x._accumulate(col2im(grad_cols, input_shape, kernel, stride,
+                                     padding))
+        out._backward = _backward
+    return out
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D transposed convolution over an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_in, C_out, K, K)`` (PyTorch layout).
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    """
+    batch, in_channels, height, width = x.shape
+    weight_in, out_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if weight_in != in_channels:
+        raise ValueError(f"weight expects {weight_in} input channels, "
+                         f"got {in_channels}")
+
+    out_h = conv_transpose_output_size(height, kernel, stride, padding)
+    out_w = conv_transpose_output_size(width, kernel, stride, padding)
+    output_shape = (batch, out_channels, out_h, out_w)
+
+    # The transposed convolution is the adjoint of a convolution that maps the
+    # output grid back to the input grid; the forward pass therefore uses
+    # col2im and the backward pass uses im2col.
+    x_flat = x.data.reshape(batch, in_channels, -1)
+    weight_flat = weight.data.reshape(in_channels, -1)  # (C_in, C_out*K*K)
+    cols = np.einsum("cf,ncl->nfl", weight_flat, x_flat, optimize=True)
+    out_data = col2im(cols, output_shape, kernel, stride, padding)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = [x, weight] if bias is None else [x, weight, bias]
+    out = x._make_child(out_data, parents, "conv_transpose2d")
+    if out.requires_grad:
+        def _backward():
+            grad_cols = im2col(out.grad, kernel, stride, padding)
+            if x.requires_grad:
+                grad_x = np.einsum("cf,nfl->ncl", weight_flat, grad_cols,
+                                   optimize=True)
+                x._accumulate(grad_x.reshape(x.shape))
+            if weight.requires_grad:
+                grad_weight = np.einsum("ncl,nfl->cf", x_flat, grad_cols,
+                                        optimize=True)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
+        out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over non-overlapping (or strided) square windows."""
+    stride = stride if stride is not None else kernel
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+
+    cols = im2col(x.data.reshape(batch * channels, 1, height, width),
+                  kernel, stride, 0)
+    out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+    out = x._make_child(out_data, (x,), "avg_pool2d")
+    if out.requires_grad:
+        def _backward():
+            grad = out.grad.reshape(batch * channels, 1, -1)
+            grad_cols = np.repeat(grad, kernel * kernel, axis=1) / (kernel * kernel)
+            grad_x = col2im(grad_cols, (batch * channels, 1, height, width),
+                            kernel, stride, 0)
+            x._accumulate(grad_x.reshape(x.shape))
+        out._backward = _backward
+    return out

@@ -1,0 +1,393 @@
+"""Neural-network layers built on the autograd Tensor.
+
+The class hierarchy mirrors a small subset of ``torch.nn``: every layer derives
+from :class:`Module`, exposes :meth:`Module.parameters` for the optimizers and
+``state_dict`` / ``load_state_dict`` for serialization, and distinguishes
+training from evaluation mode (relevant for :class:`BatchNorm2d` and
+:class:`Dropout`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        tensor.requires_grad = True
+        self._parameters[name] = tensor
+        return tensor
+
+    def register_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
+        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        return self._buffers[name]
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Module):
+            if not hasattr(self, "_modules"):
+                raise RuntimeError("call Module.__init__() before assigning "
+                                   "sub-modules")
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Parameter traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, parameter in self._parameters.items():
+            yield prefix + name, parameter
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + module_name + ".")
+
+    def parameters(self) -> list[Tensor]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield prefix + name, buffer
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix + module_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Mode switching and gradient bookkeeping
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def requires_grad_(self, requires: bool = True) -> "Module":
+        for parameter in self.parameters():
+            parameter.requires_grad = requires
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for name, buffer in self.named_buffers():
+            state["buffer:" + name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        parameters = dict(self.named_parameters())
+        missing = []
+        for name, parameter in parameters.items():
+            if name not in state:
+                missing.append(name)
+                continue
+            value = np.asarray(state[name])
+            if value.shape != parameter.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {parameter.data.shape}")
+            parameter.data = value.astype(parameter.data.dtype)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {missing}")
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state: dict, prefix: str) -> None:
+        for name in list(self._buffers):
+            key = "buffer:" + prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key], dtype=np.float64)
+        for module_name, module in self._modules.items():
+            module._load_buffers(state, prefix + module_name + ".")
+
+    # ------------------------------------------------------------------ #
+    # Calling convention
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """List container whose entries are registered sub-modules."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = init.kaiming_uniform((out_features, in_features), in_features,
+                                      rng=rng)
+        self.weight = self.register_parameter("weight", Tensor(weight))
+        if bias:
+            bias_value = init.kaiming_uniform((out_features,), in_features,
+                                              rng=rng)
+            self.bias = self.register_parameter("bias", Tensor(bias_value))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """Strided 2-D convolution with square kernels."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.dcgan_conv_init(shape, rng=rng)))
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Tensor(np.zeros(out_channels)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding)
+
+
+class ConvTranspose2d(Module):
+    """Strided 2-D transposed convolution with square kernels."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (in_channels, out_channels, kernel_size, kernel_size)
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.dcgan_conv_init(shape, rng=rng)))
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Tensor(np.zeros(out_channels)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv_transpose2d(x, self.weight, self.bias, stride=self.stride,
+                                  padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = self.register_parameter("weight",
+                                              Tensor(np.ones(num_features)))
+        self.bias = self.register_parameter("bias",
+                                            Tensor(np.zeros(num_features)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("BatchNorm2d expects an NCHW tensor")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            momentum = self.momentum
+            self._buffers["running_mean"] = (
+                (1 - momentum) * self._buffers["running_mean"]
+                + momentum * mean.data.reshape(-1))
+            self._buffers["running_var"] = (
+                (1 - momentum) * self._buffers["running_var"]
+                + momentum * var.data.reshape(-1))
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+        normalized = (x - mean) / ((var + self.eps) ** 0.5)
+        weight = self.weight.reshape(1, self.num_features, 1, 1)
+        bias = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalized * weight + bias
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions of an NCHW tensor."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

@@ -1,0 +1,80 @@
+"""Loss functions used by the conditional generative models.
+
+The cVAE-GAN objective of Eq. (1) in the paper combines an adversarial loss
+(binary cross-entropy on the PatchGAN output), an l2 reconstruction loss and a
+Gaussian KL term with weights alpha = 10 and beta = 0.01.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "mse_loss",
+    "l1_loss",
+    "bce_loss",
+    "bce_with_logits_loss",
+    "gaussian_kl_loss",
+    "hinge_loss",
+]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the paper's l2 reconstruction loss)."""
+    target = Tensor.ensure(target)
+    difference = prediction - target.detach()
+    return (difference * difference).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error, used by the pix2pix comparator."""
+    target = Tensor.ensure(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def bce_loss(probabilities: Tensor, target_value: float) -> Tensor:
+    """Binary cross-entropy against a constant real/fake label."""
+    eps = 1e-7
+    clipped = probabilities.clip(eps, 1.0 - eps)
+    if target_value == 1.0:
+        return -(clipped.log()).mean()
+    if target_value == 0.0:
+        return -((1.0 - clipped).log()).mean()
+    term_real = clipped.log() * target_value
+    term_fake = (1.0 - clipped).log() * (1.0 - target_value)
+    return -(term_real + term_fake).mean()
+
+
+def bce_with_logits_loss(logits: Tensor, target_value: float) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the standard formulation
+    ``max(x, 0) - x * y + log(1 + exp(-|x|))``.
+    """
+    positive_part = logits.relu()
+    abs_logits = logits.abs()
+    softplus = (1.0 + (-abs_logits).exp()).log()
+    loss = positive_part - logits * target_value + softplus
+    return loss.mean()
+
+
+def gaussian_kl_loss(mu: Tensor, logvar: Tensor) -> Tensor:
+    """KL divergence between N(mu, exp(logvar)) and the standard normal.
+
+    Matches the conditional VAE lower bound of the paper, averaged over the
+    batch and summed over latent dimensions.
+    """
+    kl_per_dim = -0.5 * (1.0 + logvar - mu * mu - logvar.exp())
+    batch = mu.shape[0]
+    return kl_per_dim.sum() * (1.0 / batch)
+
+
+def hinge_loss(logits: Tensor, real: bool, for_generator: bool = False) -> Tensor:
+    """Hinge GAN loss, provided for ablation benchmarks."""
+    if for_generator:
+        return (-logits).mean()
+    if real:
+        return (1.0 - logits).relu().mean()
+    return (1.0 + logits).relu().mean()

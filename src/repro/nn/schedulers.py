@@ -1,0 +1,123 @@
+"""Learning-rate schedulers.
+
+The paper trains with a fixed Adam learning rate (Remark 2), but longer CPU
+schedules of the quick-profile models benefit from decay, and the ablation
+benchmarks sweep training length; these schedulers adjust the ``lr`` attribute
+of any :class:`repro.nn.optim.Optimizer` in place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "LinearWarmupLR",
+]
+
+
+class LRScheduler:
+    """Base class: tracks the epoch count and the optimizer's base rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        if not hasattr(optimizer, "lr"):
+            raise ValueError("optimizer must expose an 'lr' attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch (``self.last_epoch``)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must lie in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must lie in (0, 1]")
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** self.last_epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate down to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be positive")
+        if min_lr < 0 or min_lr > self.base_lr:
+            raise ValueError("min_lr must lie in [0, base_lr]")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmupLR(LRScheduler):
+    """Ramp linearly from ``start_factor * base_lr`` to the base rate.
+
+    After ``warmup_epochs`` the rate stays at the base rate; combine with a
+    decay scheduler manually if both behaviours are wanted.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 start_factor: float = 0.1):
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be positive")
+        if not 0 < start_factor <= 1:
+            raise ValueError("start_factor must lie in (0, 1]")
+        self.warmup_epochs = warmup_epochs
+        self.start_factor = start_factor
+        # The warmup starts below the base rate immediately.
+        self.optimizer.lr = self.base_lr * start_factor
+
+    def get_lr(self) -> float:
+        if self.last_epoch >= self.warmup_epochs:
+            return self.base_lr
+        fraction = self.last_epoch / self.warmup_epochs
+        factor = self.start_factor + (1.0 - self.start_factor) * fraction
+        return self.base_lr * factor

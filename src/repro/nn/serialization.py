@@ -1,0 +1,32 @@
+"""Saving and loading model parameters as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict"]
+
+_KEY_ESCAPE = "__dot__"
+
+
+def _encode_key(key: str) -> str:
+    return key.replace(".", _KEY_ESCAPE)
+
+
+def _decode_key(key: str) -> str:
+    return key.replace(_KEY_ESCAPE, ".")
+
+
+def save_state_dict(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a ``state_dict`` to ``path`` as a compressed npz archive."""
+    encoded = {_encode_key(key): np.asarray(value) for key, value in state.items()}
+    np.savez_compressed(os.fspath(path), **encoded)
+
+
+def load_state_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a ``state_dict`` previously written by :func:`save_state_dict`."""
+    with np.load(os.fspath(path)) as archive:
+        return {_decode_key(key): archive[key] for key in archive.files}

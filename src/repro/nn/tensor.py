@@ -1,0 +1,528 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+The engine is deliberately small: a :class:`Tensor` wraps an ``numpy.ndarray``
+and records, for every differentiable operation, a closure that accumulates
+gradients into its parents.  Calling :meth:`Tensor.backward` walks the recorded
+graph in reverse topological order.
+
+Broadcasting is fully supported: gradients flowing into a broadcast operand are
+reduced (summed) back to the operand's original shape by :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got a Tensor")
+    array = np.asarray(value, dtype=dtype)
+    if array.dtype.kind in "iub":
+        array = array.astype(np.float64)
+    return array
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd support.
+
+    Parameters
+    ----------
+    data:
+        Array-like value.  Integer inputs are promoted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: np.random.Generator | None = None,
+              requires_grad: bool = False) -> "Tensor":
+        generator = rng if rng is not None else np.random.default_rng()
+        return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ensure(value) -> "Tensor":
+        """Wrap ``value`` in a Tensor if it is not one already."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag}, op={self._op!r})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph utilities
+    # ------------------------------------------------------------------ #
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"],
+                    op: str) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        child = Tensor.__new__(Tensor)
+        child.data = data
+        child.requires_grad = requires
+        child.grad = None
+        child._backward = None
+        child._parents = tuple(parents) if requires else ()
+        child._op = op
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults to
+            ``1`` and is only optional for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not "
+                               "require gradients")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar "
+                                   "tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make_child(self.data + other.data, (self, other), "add")
+
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,), "neg")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(-out.grad)
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor.ensure(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor.ensure(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make_child(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make_child(self.data / other.data, (self, other), "div")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    grad_other = -out.grad * self.data / (other.data ** 2)
+                    other._accumulate(_unbroadcast(grad_other, other.shape))
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor.ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_child(self.data ** exponent, (self,), "pow")
+        if out.requires_grad:
+            def _backward():
+                grad = out.grad * exponent * self.data ** (exponent - 1)
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out = self._make_child(np.exp(self.data), (self,), "exp")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * out.data)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad / self.data)
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = self._make_child(value, (self,), "tanh")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * (1.0 - value ** 2))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(value, (self,), "sigmoid")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * value * (1.0 - value))
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_child(self.data * mask, (self,), "relu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+        out = self._make_child(self.data * scale, (self,), "leaky_relu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * scale)
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = self._make_child(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * sign)
+            out._backward = _backward
+        return out
+
+    def clip(self, minimum: float, maximum: float) -> "Tensor":
+        clipped = np.clip(self.data, minimum, maximum)
+        mask = (self.data >= minimum) & (self.data <= maximum)
+        out = self._make_child(clipped, (self,), "clip")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        value = self.data.sum(axis=axis, keepdims=keepdims)
+        out = self._make_child(np.asarray(value), (self,), "sum")
+        if out.requires_grad:
+            input_shape = self.shape
+
+            def _backward():
+                grad = out.grad
+                if axis is None:
+                    grad = np.broadcast_to(grad, input_shape)
+                else:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % len(input_shape) for a in axes)
+                    if not keepdims:
+                        grad = np.expand_dims(grad, axis=axes)
+                    grad = np.broadcast_to(grad, input_shape)
+                self._accumulate(grad.astype(self.data.dtype))
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased (population) variance, matching batch-norm semantics."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        result = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return result
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(np.asarray(value), (self,), "max")
+        if out.requires_grad:
+            def _backward():
+                if axis is None:
+                    expanded = np.broadcast_to(out.data, self.shape)
+                    grad = np.broadcast_to(out.grad, self.shape)
+                else:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.ndim for a in axes)
+                    expanded = out.data if keepdims else np.expand_dims(out.data, axes)
+                    grad = out.grad if keepdims else np.expand_dims(out.grad, axes)
+                    expanded = np.broadcast_to(expanded, self.shape)
+                    grad = np.broadcast_to(grad, self.shape)
+                mask = (self.data == expanded)
+                # Split the gradient evenly over ties.
+                counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                    else mask.sum()
+                self._accumulate(grad * mask / counts)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            original = self.shape
+
+            def _backward():
+                self._accumulate(out.grad.reshape(original))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = self._make_child(self.data.transpose(axes), (self,), "transpose")
+        if out.requires_grad:
+            inverse = np.argsort(axes)
+
+            def _backward():
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            def _backward():
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        out = self._make_child(np.pad(self.data, pad_width), (self,), "pad2d")
+        if out.requires_grad:
+            def _backward():
+                grad = out.grad[:, :, padding:-padding, padding:-padding]
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make_child(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad @ other.data.T)
+                if other.requires_grad:
+                    other._accumulate(self.data.T @ out.grad)
+            out._backward = _backward
+        return out
+
+    __matmul__ = matmul
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    template = tensors[0]
+    out = template._make_child(data, tensors, "concat")
+    if out.requires_grad:
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward():
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(out.grad[tuple(index)])
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tensors, "stack")
+    if out.requires_grad:
+        def _backward():
+            for position, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.take(out.grad, position, axis=axis))
+        out._backward = _backward
+    return out

@@ -1,0 +1,134 @@
+"""Tests for the baseline probability densities and their samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.baselines import (
+    gaussian_pdf,
+    normal_laplace_pdf,
+    sample_gaussian,
+    sample_normal_laplace,
+    sample_students_t,
+    students_t_pdf,
+)
+
+GRID = np.linspace(-200, 200, 8001)
+
+
+def _integral(pdf_values, grid=GRID):
+    return float(np.trapezoid(pdf_values, grid))
+
+
+class TestGaussian:
+    def test_matches_scipy(self):
+        values = gaussian_pdf(GRID, mu=3.0, sigma=5.0)
+        np.testing.assert_allclose(values, stats.norm.pdf(GRID, 3.0, 5.0),
+                                   atol=1e-12)
+
+    def test_integrates_to_one(self):
+        assert _integral(gaussian_pdf(GRID, 0.0, 10.0)) == pytest.approx(1.0,
+                                                                         abs=1e-4)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(GRID, 0.0, 0.0)
+
+    def test_sampler_moments(self):
+        samples = sample_gaussian(200_000, 5.0, 3.0,
+                                  rng=np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(5.0, abs=0.05)
+        assert samples.std() == pytest.approx(3.0, abs=0.05)
+
+
+class TestNormalLaplace:
+    def test_integrates_to_one(self):
+        values = normal_laplace_pdf(GRID, mu=0.0, sigma=5.0, alpha=0.2, beta=0.3)
+        assert _integral(values) == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric_when_alpha_equals_beta(self):
+        values = normal_laplace_pdf(GRID, 0.0, 4.0, 0.25, 0.25)
+        np.testing.assert_allclose(values, values[::-1], atol=1e-10)
+
+    def test_heavier_tails_than_gaussian(self):
+        """Far from the mean the NL density must exceed a matched Gaussian."""
+        nl_values = normal_laplace_pdf(np.array([60.0]), 0.0, 5.0, 0.1, 0.1)
+        gaussian_values = gaussian_pdf(np.array([60.0]), 0.0, 5.0)
+        assert nl_values[0] > gaussian_values[0]
+
+    def test_tail_decay_is_exponential(self):
+        """log-density decays linearly (rate alpha) in the far right tail."""
+        alpha = 0.15
+        points = np.array([80.0, 100.0, 120.0])
+        log_values = np.log(normal_laplace_pdf(points, 0.0, 5.0, alpha, alpha))
+        slopes = np.diff(log_values) / np.diff(points)
+        np.testing.assert_allclose(slopes, -alpha, atol=0.01)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            normal_laplace_pdf(GRID, 0.0, -1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            normal_laplace_pdf(GRID, 0.0, 1.0, 0.0, 0.1)
+
+    def test_sampler_matches_density_histogram(self):
+        rng = np.random.default_rng(1)
+        samples = sample_normal_laplace(400_000, 10.0, 4.0, 0.2, 0.3, rng=rng)
+        grid = np.linspace(-60, 80, 281)
+        counts, edges = np.histogram(samples, bins=grid, density=True)
+        centers = (edges[:-1] + edges[1:]) / 2
+        expected = normal_laplace_pdf(centers, 10.0, 4.0, 0.2, 0.3)
+        # Total variation between histogram and density should be small.
+        widths = np.diff(edges)
+        tv = 0.5 * np.sum(np.abs(counts - expected) * widths)
+        assert tv < 0.02
+
+    def test_sampler_mean(self):
+        """E[NL] = mu + 1/alpha - 1/beta."""
+        rng = np.random.default_rng(2)
+        samples = sample_normal_laplace(300_000, 0.0, 2.0, 0.5, 0.25, rng=rng)
+        assert samples.mean() == pytest.approx(2.0 - 4.0, abs=0.05)
+
+
+class TestStudentsT:
+    def test_matches_scipy(self):
+        values = students_t_pdf(GRID, mu=2.0, scale=4.0, dof=5.0)
+        np.testing.assert_allclose(values, stats.t.pdf(GRID, 5.0, loc=2.0,
+                                                       scale=4.0), atol=1e-10)
+
+    def test_integrates_to_one(self):
+        values = students_t_pdf(GRID, 0.0, 5.0, 4.0)
+        assert _integral(values) == pytest.approx(1.0, abs=1e-2)
+
+    def test_approaches_gaussian_for_large_dof(self):
+        values = students_t_pdf(GRID, 0.0, 5.0, 1e6)
+        np.testing.assert_allclose(values, gaussian_pdf(GRID, 0.0, 5.0),
+                                   atol=1e-6)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            students_t_pdf(GRID, 0.0, 0.0, 3.0)
+        with pytest.raises(ValueError):
+            students_t_pdf(GRID, 0.0, 1.0, -1.0)
+
+    def test_sampler_median(self):
+        samples = sample_students_t(200_000, 7.0, 2.0, 4.0,
+                                    rng=np.random.default_rng(3))
+        assert np.median(samples) == pytest.approx(7.0, abs=0.05)
+
+    @given(st.floats(-20, 20), st.floats(0.5, 20), st.floats(1.0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_density_positive_and_finite(self, mu, scale, dof):
+        values = students_t_pdf(np.linspace(-100, 100, 50), mu, scale, dof)
+        assert np.all(values > 0) and np.all(np.isfinite(values))
+
+    def test_heavier_tails_than_normal_laplace_and_gaussian(self):
+        """Tail ordering: Student's t > Normal-Laplace > Gaussian."""
+        point = np.array([120.0])
+        gaussian_tail = gaussian_pdf(point, 0.0, 8.0)[0]
+        nl_tail = normal_laplace_pdf(point, 0.0, 8.0, 0.15, 0.15)[0]
+        t_tail = students_t_pdf(point, 0.0, 8.0, 2.5)[0]
+        assert t_tail > nl_tail > gaussian_tail

@@ -1,0 +1,70 @@
+"""Tests for the from-scratch Nelder-Mead simplex optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.baselines import nelder_mead
+
+
+class TestNelderMead:
+    def test_minimises_1d_quadratic(self):
+        result = nelder_mead(lambda x: (x[0] - 3.0) ** 2, [0.0])
+        assert result.x[0] == pytest.approx(3.0, abs=1e-3)
+        assert result.converged
+
+    def test_minimises_2d_quadratic(self):
+        def objective(theta):
+            return (theta[0] - 1.0) ** 2 + 10 * (theta[1] + 2.0) ** 2
+        result = nelder_mead(objective, [5.0, 5.0], max_iterations=1000)
+        np.testing.assert_allclose(result.x, [1.0, -2.0], atol=1e-3)
+
+    def test_minimises_rosenbrock(self):
+        def rosenbrock(theta):
+            return (1 - theta[0]) ** 2 + 100 * (theta[1] - theta[0] ** 2) ** 2
+        result = nelder_mead(rosenbrock, [-1.0, 1.0], max_iterations=3000,
+                             xatol=1e-9, fatol=1e-12)
+        np.testing.assert_allclose(result.x, [1.0, 1.0], atol=1e-2)
+
+    def test_handles_infinite_constraint_values(self):
+        def objective(theta):
+            if theta[0] <= 0:
+                return float("inf")
+            return (np.log(theta[0])) ** 2
+        result = nelder_mead(objective, [5.0], max_iterations=500)
+        assert result.x[0] == pytest.approx(1.0, abs=1e-2)
+
+    def test_matches_scipy_on_quartic(self):
+        def objective(theta):
+            return float((theta[0] - 2) ** 4 + (theta[1] + 1) ** 2
+                         + 0.5 * theta[0] * theta[1])
+        ours = nelder_mead(objective, [0.0, 0.0], max_iterations=2000,
+                           xatol=1e-8, fatol=1e-10)
+        scipy_result = optimize.minimize(objective, [0.0, 0.0],
+                                         method="Nelder-Mead")
+        assert ours.fun == pytest.approx(scipy_result.fun, abs=1e-4)
+
+    def test_iteration_budget_respected(self):
+        result = nelder_mead(lambda x: x[0] ** 2, [100.0], max_iterations=3)
+        assert result.iterations <= 3
+        assert not result.converged
+
+    def test_function_evaluation_count_positive(self):
+        result = nelder_mead(lambda x: x[0] ** 2, [1.0])
+        assert result.function_evaluations >= result.iterations
+
+    def test_rejects_empty_start(self):
+        with pytest.raises(ValueError):
+            nelder_mead(lambda x: 0.0, [])
+
+    def test_already_optimal_start(self):
+        result = nelder_mead(lambda x: (x[0] ** 2 + x[1] ** 2), [0.0, 0.0])
+        assert result.fun == pytest.approx(0.0, abs=1e-8)
+
+    @pytest.mark.parametrize("target", [-4.0, 0.5, 12.0])
+    def test_various_targets(self, target):
+        result = nelder_mead(lambda x: abs(x[0] - target) ** 1.5, [0.0],
+                             max_iterations=800)
+        assert result.x[0] == pytest.approx(target, abs=1e-2)

@@ -1,0 +1,166 @@
+"""Tests for the binary BCH code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import BCHCode
+
+
+@pytest.fixture(scope="module")
+def bch_15_7() -> BCHCode:
+    """BCH(15, 7) correcting 2 errors."""
+    return BCHCode(m=4, t=2)
+
+
+@pytest.fixture(scope="module")
+def bch_63() -> BCHCode:
+    """BCH(63, 45) correcting 3 errors."""
+    return BCHCode(m=6, t=3)
+
+
+class TestConstruction:
+    def test_classic_code_parameters(self, bch_15_7, bch_63):
+        assert (bch_15_7.n, bch_15_7.k, bch_15_7.t) == (15, 7, 2)
+        assert (bch_63.n, bch_63.k, bch_63.t) == (63, 45, 3)
+
+    def test_single_error_code_is_hamming(self):
+        code = BCHCode(m=4, t=1)
+        assert (code.n, code.k) == (15, 11)
+
+    def test_rate_and_describe(self, bch_15_7):
+        summary = bch_15_7.describe()
+        assert summary["rate"] == pytest.approx(7 / 15)
+        assert summary["parity_bits"] == 8
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            BCHCode(m=4, t=0)
+
+    def test_maximum_t_collapses_to_single_message_bit(self):
+        """Asking for t=7 over GF(2^4) leaves the (15, 1) code."""
+        code = BCHCode(m=4, t=7)
+        assert code.k == 1
+        # The single-information-bit code survives huge error patterns.
+        codeword = code.encode(np.array([1]))
+        assert int(codeword.sum()) >= 2 * code.t + 1
+
+    def test_generator_divides_codewords(self, bch_15_7):
+        message = np.ones(bch_15_7.k, dtype=int)
+        codeword = bch_15_7.encode(message)
+        assert bch_15_7.is_codeword(codeword)
+
+
+class TestEncoding:
+    def test_encoding_is_systematic(self, bch_15_7):
+        rng = np.random.default_rng(0)
+        message = rng.integers(0, 2, size=bch_15_7.k)
+        codeword = bch_15_7.encode(message)
+        np.testing.assert_array_equal(
+            bch_15_7.message_from_codeword(codeword), message)
+
+    def test_zero_message_encodes_to_zero(self, bch_15_7):
+        codeword = bch_15_7.encode(np.zeros(bch_15_7.k, dtype=int))
+        assert not codeword.any()
+
+    def test_encoding_is_linear(self, bch_15_7):
+        rng = np.random.default_rng(1)
+        first = rng.integers(0, 2, size=bch_15_7.k)
+        second = rng.integers(0, 2, size=bch_15_7.k)
+        combined = bch_15_7.encode((first + second) % 2)
+        np.testing.assert_array_equal(
+            combined, (bch_15_7.encode(first) + bch_15_7.encode(second)) % 2)
+
+    def test_wrong_message_length_rejected(self, bch_15_7):
+        with pytest.raises(ValueError):
+            bch_15_7.encode(np.zeros(bch_15_7.k + 1, dtype=int))
+
+    def test_wrong_codeword_length_rejected(self, bch_15_7):
+        with pytest.raises(ValueError):
+            bch_15_7.message_from_codeword(np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            bch_15_7.decode(np.zeros(3, dtype=int))
+
+
+class TestDecoding:
+    def test_error_free_word_decodes_immediately(self, bch_15_7):
+        message = np.array([1, 0, 1, 1, 0, 0, 1])
+        codeword = bch_15_7.encode(message)
+        result = bch_15_7.decode(codeword)
+        assert result.success
+        assert result.corrected_errors == 0
+        np.testing.assert_array_equal(result.message, message)
+
+    @pytest.mark.parametrize("num_errors", [1, 2])
+    def test_corrects_up_to_t_errors(self, bch_15_7, num_errors):
+        rng = np.random.default_rng(10 + num_errors)
+        for _ in range(20):
+            message = rng.integers(0, 2, size=bch_15_7.k)
+            codeword = bch_15_7.encode(message)
+            corrupted = codeword.copy()
+            positions = rng.choice(bch_15_7.n, size=num_errors, replace=False)
+            corrupted[positions] ^= 1
+            result = bch_15_7.decode(corrupted)
+            assert result.success
+            assert result.corrected_errors == num_errors
+            np.testing.assert_array_equal(result.codeword, codeword)
+            np.testing.assert_array_equal(result.message, message)
+
+    def test_corrects_three_errors_on_longer_code(self, bch_63):
+        rng = np.random.default_rng(77)
+        message = rng.integers(0, 2, size=bch_63.k)
+        codeword = bch_63.encode(message)
+        corrupted = codeword.copy()
+        corrupted[[0, 31, 62]] ^= 1
+        result = bch_63.decode(corrupted)
+        assert result.success
+        np.testing.assert_array_equal(result.codeword, codeword)
+
+    def test_beyond_capability_is_flagged_or_miscorrected(self, bch_15_7):
+        """t+1 errors either fail or land on a different valid codeword."""
+        rng = np.random.default_rng(3)
+        detected_failures = 0
+        for _ in range(30):
+            message = rng.integers(0, 2, size=bch_15_7.k)
+            codeword = bch_15_7.encode(message)
+            corrupted = codeword.copy()
+            positions = rng.choice(bch_15_7.n, size=bch_15_7.t + 1,
+                                   replace=False)
+            corrupted[positions] ^= 1
+            result = bch_15_7.decode(corrupted)
+            if not result.success:
+                detected_failures += 1
+            else:
+                # Any successful decode must at least return a codeword.
+                assert bch_15_7.is_codeword(result.codeword)
+        assert detected_failures > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_correctable_patterns(self, bch_63, data):
+        message = np.array(data.draw(st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=bch_63.k, max_size=bch_63.k)))
+        num_errors = data.draw(st.integers(min_value=0, max_value=bch_63.t))
+        positions = data.draw(st.lists(
+            st.integers(min_value=0, max_value=bch_63.n - 1),
+            min_size=num_errors, max_size=num_errors, unique=True))
+        codeword = bch_63.encode(message)
+        corrupted = codeword.copy()
+        corrupted[positions] ^= 1
+        result = bch_63.decode(corrupted)
+        assert result.success
+        np.testing.assert_array_equal(result.codeword, codeword)
+
+    def test_minimum_distance_at_least_design_distance(self, bch_15_7):
+        """Every non-zero codeword has weight >= 2t + 1 (exhaustive check)."""
+        minimum_weight = bch_15_7.n
+        for value in range(1, 2 ** bch_15_7.k):
+            message = np.array([(value >> bit) & 1
+                                for bit in range(bch_15_7.k)])
+            weight = int(bch_15_7.encode(message).sum())
+            minimum_weight = min(minimum_weight, weight)
+        assert minimum_weight >= 2 * bch_15_7.t + 1

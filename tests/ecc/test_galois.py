@@ -1,0 +1,225 @@
+"""Tests for GF(2^m) arithmetic and GF(2) polynomials."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import GaloisField, Gf2Polynomial
+from repro.ecc.galois import DEFAULT_PRIMITIVE_POLYNOMIALS
+
+
+@pytest.fixture(scope="module")
+def gf16() -> GaloisField:
+    return GaloisField(4)
+
+
+@pytest.fixture(scope="module")
+def gf64() -> GaloisField:
+    return GaloisField(6)
+
+
+elements16 = st.integers(min_value=0, max_value=15)
+nonzero16 = st.integers(min_value=1, max_value=15)
+
+
+class TestGaloisFieldConstruction:
+    @pytest.mark.parametrize("m", sorted(DEFAULT_PRIMITIVE_POLYNOMIALS))
+    def test_default_polynomials_are_primitive(self, m):
+        field = GaloisField(m)
+        assert field.size == 2 ** m
+        # The exponent table enumerates every non-zero element exactly once.
+        assert sorted(field.exp_table[:field.order]) == list(range(1, field.size))
+
+    def test_unknown_m_without_polynomial_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisField(12)
+
+    def test_m_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisField(1, primitive_polynomial=0b11)
+
+    def test_wrong_degree_polynomial_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisField(4, primitive_polynomial=0b1011)
+
+    def test_non_primitive_polynomial_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 divides x^5 - 1, so it is not primitive.
+        with pytest.raises(ValueError):
+            GaloisField(4, primitive_polynomial=0b11111)
+
+
+class TestGaloisFieldArithmetic:
+    def test_addition_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_addition_self_inverse(self, gf16):
+        for element in range(16):
+            assert gf16.add(element, element) == 0
+
+    def test_multiplication_by_zero_and_one(self, gf16):
+        for element in range(16):
+            assert gf16.multiply(element, 0) == 0
+            assert gf16.multiply(element, 1) == element
+
+    def test_out_of_range_rejected(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.multiply(16, 1)
+        with pytest.raises(ValueError):
+            gf16.add(-1, 0)
+
+    def test_inverse_of_zero_rejected(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+        with pytest.raises(ZeroDivisionError):
+            gf16.divide(3, 0)
+
+    def test_zero_to_non_positive_power_rejected(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.power(0, 0)
+
+    def test_alpha_powers_cycle(self, gf16):
+        assert gf16.alpha_power(0) == 1
+        assert gf16.alpha_power(15) == 1
+        assert gf16.alpha_power(-1) == gf16.alpha_power(14)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=elements16, b=elements16, c=elements16)
+    def test_multiplication_associative_and_commutative(self, gf16, a, b, c):
+        assert gf16.multiply(a, b) == gf16.multiply(b, a)
+        assert gf16.multiply(gf16.multiply(a, b), c) == \
+            gf16.multiply(a, gf16.multiply(b, c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=elements16, b=elements16, c=elements16)
+    def test_distributivity(self, gf16, a, b, c):
+        left = gf16.multiply(a, gf16.add(b, c))
+        right = gf16.add(gf16.multiply(a, b), gf16.multiply(a, c))
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=nonzero16)
+    def test_inverse_is_two_sided(self, gf16, a):
+        assert gf16.multiply(a, gf16.inverse(a)) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=elements16, b=nonzero16)
+    def test_division_inverts_multiplication(self, gf16, a, b):
+        assert gf16.divide(gf16.multiply(a, b), b) == a
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=nonzero16, exponent=st.integers(min_value=-10, max_value=10))
+    def test_power_matches_repeated_multiplication(self, gf16, a, exponent):
+        expected = 1
+        for _ in range(abs(exponent)):
+            expected = gf16.multiply(expected, a)
+        if exponent < 0:
+            expected = gf16.inverse(expected)
+        assert gf16.power(a, exponent) == expected
+
+    def test_poly_eval_horner(self, gf16):
+        # p(x) = 1 + x + x^3 evaluated at alpha.
+        alpha = gf16.alpha_power(1)
+        expected = gf16.add(gf16.add(1, alpha), gf16.power(alpha, 3))
+        assert gf16.poly_eval([1, 1, 0, 1], alpha) == expected
+
+
+class TestMinimalPolynomials:
+    def test_minimal_polynomial_of_zero_is_x(self, gf16):
+        assert gf16.minimal_polynomial(0) == Gf2Polynomial([0, 1])
+
+    def test_minimal_polynomial_of_one_is_x_plus_one(self, gf16):
+        assert gf16.minimal_polynomial(1) == Gf2Polynomial([1, 1])
+
+    def test_minimal_polynomial_of_alpha_is_the_primitive_polynomial(self, gf16):
+        minimal = gf16.minimal_polynomial(gf16.alpha_power(1))
+        # x^4 + x + 1 -> coefficients lowest degree first.
+        assert minimal == Gf2Polynomial([1, 1, 0, 0, 1])
+
+    def test_minimal_polynomial_annihilates_the_element(self, gf64):
+        for exponent in (1, 3, 5, 9):
+            element = gf64.alpha_power(exponent)
+            minimal = gf64.minimal_polynomial(element)
+            assert gf64.poly_eval(minimal.coefficients, element) == 0
+
+    def test_conjugates_share_the_minimal_polynomial(self, gf16):
+        alpha3 = gf16.alpha_power(3)
+        conjugate = gf16.multiply(alpha3, alpha3)  # alpha^6
+        assert gf16.minimal_polynomial(alpha3) == \
+            gf16.minimal_polynomial(conjugate)
+
+    def test_degree_divides_m(self, gf64):
+        for exponent in range(1, 20):
+            minimal = gf64.minimal_polynomial(gf64.alpha_power(exponent))
+            assert 6 % minimal.degree == 0
+
+
+class TestGf2Polynomial:
+    def test_trailing_zero_coefficients_trimmed(self):
+        assert Gf2Polynomial([1, 1, 0, 0]).coefficients == [1, 1]
+
+    def test_degree_of_zero_polynomial(self):
+        assert Gf2Polynomial([0]).degree == -1
+
+    def test_multiplication(self):
+        # (1 + x)(1 + x) = 1 + x^2 over GF(2).
+        square = Gf2Polynomial([1, 1]) * Gf2Polynomial([1, 1])
+        assert square == Gf2Polynomial([1, 0, 1])
+
+    def test_multiplication_by_zero(self):
+        assert (Gf2Polynomial([0]) * Gf2Polynomial([1, 1])).degree == -1
+
+    def test_mod_by_larger_degree_is_identity(self):
+        small = Gf2Polynomial([1, 1])
+        big = Gf2Polynomial([1, 0, 1, 1])
+        assert small % big == small
+
+    def test_mod_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Gf2Polynomial([1, 1]) % Gf2Polynomial([0])
+        with pytest.raises(ZeroDivisionError):
+            Gf2Polynomial([1, 1]).divmod(Gf2Polynomial([0]))
+
+    def test_divmod_reconstructs_the_dividend(self):
+        dividend = Gf2Polynomial([1, 0, 1, 1, 0, 1])
+        divisor = Gf2Polynomial([1, 1, 1])
+        quotient, remainder = dividend.divmod(divisor)
+        reconstructed_coefficients = (quotient * divisor).coefficients
+        total = [0] * max(len(reconstructed_coefficients),
+                          len(remainder.coefficients))
+        for index, coefficient in enumerate(reconstructed_coefficients):
+            total[index] ^= coefficient
+        for index, coefficient in enumerate(remainder.coefficients):
+            total[index] ^= coefficient
+        assert Gf2Polynomial(total) == dividend
+
+    def test_gcd_of_multiples(self):
+        base = Gf2Polynomial([1, 1, 1])
+        multiple = base * Gf2Polynomial([1, 1])
+        assert multiple.gcd(base) == base
+
+    def test_lcm_is_divisible_by_both(self):
+        first = Gf2Polynomial([1, 1])       # x + 1
+        second = Gf2Polynomial([1, 1, 1])   # x^2 + x + 1
+        lcm = first.lcm(second)
+        assert (lcm % first).degree == -1
+        assert (lcm % second).degree == -1
+
+    def test_equality_and_hash(self):
+        assert Gf2Polynomial([1, 0, 1]) == Gf2Polynomial([1, 0, 1, 0])
+        assert hash(Gf2Polynomial([1, 1])) == hash(Gf2Polynomial([1, 1, 0]))
+        assert Gf2Polynomial([1]) != "not a polynomial"
+
+    @settings(max_examples=50, deadline=None)
+    @given(coefficients=st.lists(st.integers(min_value=0, max_value=1),
+                                 min_size=1, max_size=12),
+           divisor=st.lists(st.integers(min_value=0, max_value=1),
+                            min_size=2, max_size=6))
+    def test_mod_degree_below_divisor(self, coefficients, divisor):
+        divisor_poly = Gf2Polynomial(divisor)
+        if divisor_poly.degree < 0:
+            return
+        remainder = Gf2Polynomial(coefficients) % divisor_poly
+        assert remainder.degree < max(divisor_poly.degree, 1) or \
+            remainder.degree < divisor_poly.degree

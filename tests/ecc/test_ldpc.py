@@ -1,0 +1,203 @@
+"""Tests for the LDPC code, its decoders and the Gallager construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import LDPCCode, gallager_parity_check_matrix
+
+
+@pytest.fixture(scope="module")
+def code() -> LDPCCode:
+    return LDPCCode.regular(n=96, column_weight=3, row_weight=6,
+                            rng=np.random.default_rng(0))
+
+
+def _bpsk_llrs(codeword: np.ndarray, noise_sigma: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """Channel LLRs of a codeword sent over a BPSK/AWGN channel."""
+    symbols = 1.0 - 2.0 * codeword
+    received = symbols + rng.normal(0.0, noise_sigma, size=codeword.shape)
+    return 2.0 * received / noise_sigma ** 2
+
+
+class TestGallagerConstruction:
+    def test_column_and_row_weights(self):
+        matrix = gallager_parity_check_matrix(24, 3, 6,
+                                              rng=np.random.default_rng(1))
+        assert matrix.shape == (12, 24)
+        np.testing.assert_array_equal(matrix.sum(axis=0), 3)
+        np.testing.assert_array_equal(matrix.sum(axis=1), 6)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gallager_parity_check_matrix(1, 3, 6, rng=rng)
+        with pytest.raises(ValueError):
+            gallager_parity_check_matrix(24, 1, 6, rng=rng)
+        with pytest.raises(ValueError):
+            gallager_parity_check_matrix(24, 3, 1, rng=rng)
+        with pytest.raises(ValueError):
+            gallager_parity_check_matrix(25, 3, 6, rng=rng)
+
+
+class TestLDPCCodeStructure:
+    def test_rate_roughly_half(self, code):
+        assert 0.45 <= code.rate <= 0.60
+
+    def test_parity_check_must_be_2d(self):
+        with pytest.raises(ValueError):
+            LDPCCode(np.zeros(10))
+
+    def test_all_encoded_words_satisfy_parity(self, code):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            message = rng.integers(0, 2, size=code.k)
+            assert code.is_codeword(code.encode(message))
+
+    def test_encoding_is_systematic(self, code):
+        rng = np.random.default_rng(3)
+        message = rng.integers(0, 2, size=code.k)
+        np.testing.assert_array_equal(
+            code.message_from_codeword(code.encode(message)), message)
+
+    def test_encoding_is_linear(self, code):
+        rng = np.random.default_rng(4)
+        first = rng.integers(0, 2, size=code.k)
+        second = rng.integers(0, 2, size=code.k)
+        np.testing.assert_array_equal(
+            code.encode((first + second) % 2),
+            (code.encode(first) + code.encode(second)) % 2)
+
+    def test_zero_message_gives_zero_codeword(self, code):
+        assert not code.encode(np.zeros(code.k, dtype=int)).any()
+
+    def test_shape_validation(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=int))
+        with pytest.raises(ValueError):
+            code.syndrome(np.zeros(code.n - 1, dtype=int))
+        with pytest.raises(ValueError):
+            code.message_from_codeword(np.zeros(5, dtype=int))
+
+    def test_syndrome_of_corrupted_word_nonzero(self, code):
+        codeword = code.encode(np.ones(code.k, dtype=int))
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        assert code.syndrome(corrupted).any()
+
+
+class TestMinSumDecoder:
+    def test_noiseless_llrs_decode_in_zero_iterations(self, code):
+        rng = np.random.default_rng(5)
+        message = rng.integers(0, 2, size=code.k)
+        codeword = code.encode(message)
+        llrs = 10.0 * (1.0 - 2.0 * codeword)
+        result = code.decode_min_sum(llrs)
+        assert result.success
+        assert result.iterations == 0
+        np.testing.assert_array_equal(result.codeword, codeword)
+
+    def test_corrects_moderate_awgn_noise(self, code):
+        rng = np.random.default_rng(6)
+        successes = 0
+        for _ in range(10):
+            message = rng.integers(0, 2, size=code.k)
+            codeword = code.encode(message)
+            llrs = _bpsk_llrs(codeword, noise_sigma=0.6, rng=rng)
+            result = code.decode_min_sum(llrs, max_iterations=50)
+            if result.success and np.array_equal(result.codeword, codeword):
+                successes += 1
+        assert successes >= 8
+
+    def test_soft_beats_hard_decisions(self, code):
+        """Min-sum on LLRs corrects frames the raw hard decision gets wrong."""
+        rng = np.random.default_rng(7)
+        improved = 0
+        for _ in range(10):
+            message = rng.integers(0, 2, size=code.k)
+            codeword = code.encode(message)
+            llrs = _bpsk_llrs(codeword, noise_sigma=0.7, rng=rng)
+            hard = (llrs < 0).astype(int)
+            hard_errors = int(np.count_nonzero(hard != codeword))
+            result = code.decode_min_sum(llrs, max_iterations=50)
+            decoded_errors = int(np.count_nonzero(result.codeword != codeword))
+            if hard_errors > 0 and decoded_errors < hard_errors:
+                improved += 1
+        assert improved >= 5
+
+    def test_hopeless_llrs_reported_as_failure(self, code):
+        rng = np.random.default_rng(8)
+        message = rng.integers(0, 2, size=code.k)
+        codeword = code.encode(message)
+        # Flip the sign of half the LLRs: far beyond any code's capability.
+        llrs = 5.0 * (1.0 - 2.0 * codeword)
+        flip = rng.choice(code.n, size=code.n // 2, replace=False)
+        llrs[flip] *= -1.0
+        result = code.decode_min_sum(llrs, max_iterations=5)
+        assert not result.success or \
+            not np.array_equal(result.codeword, codeword)
+
+    def test_validation(self, code):
+        with pytest.raises(ValueError):
+            code.decode_min_sum(np.zeros(code.n - 1))
+        with pytest.raises(ValueError):
+            code.decode_min_sum(np.zeros(code.n), scale=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_decoded_word_is_always_valid_or_flagged(self, code, seed):
+        rng = np.random.default_rng(seed)
+        message = rng.integers(0, 2, size=code.k)
+        codeword = code.encode(message)
+        llrs = _bpsk_llrs(codeword, noise_sigma=0.9, rng=rng)
+        result = code.decode_min_sum(llrs, max_iterations=20)
+        if result.success:
+            assert code.is_codeword(result.codeword)
+
+
+class TestBitFlippingDecoder:
+    def test_clean_word_passes_through(self, code):
+        codeword = code.encode(np.ones(code.k, dtype=int))
+        result = code.decode_bit_flipping(codeword)
+        assert result.success
+        np.testing.assert_array_equal(result.codeword, codeword)
+
+    def test_corrects_a_few_flips(self, code):
+        rng = np.random.default_rng(9)
+        corrected = 0
+        for _ in range(10):
+            message = rng.integers(0, 2, size=code.k)
+            codeword = code.encode(message)
+            corrupted = codeword.copy()
+            corrupted[rng.choice(code.n, size=2, replace=False)] ^= 1
+            result = code.decode_bit_flipping(corrupted)
+            if result.success and np.array_equal(result.codeword, codeword):
+                corrected += 1
+        assert corrected >= 6
+
+    def test_weaker_than_min_sum(self, code):
+        """At the same noise level the soft decoder corrects more frames."""
+        rng = np.random.default_rng(10)
+        soft_wins, hard_wins = 0, 0
+        for _ in range(10):
+            message = rng.integers(0, 2, size=code.k)
+            codeword = code.encode(message)
+            llrs = _bpsk_llrs(codeword, noise_sigma=0.75, rng=rng)
+            hard = (llrs < 0).astype(int)
+            soft_result = code.decode_min_sum(llrs, max_iterations=50)
+            hard_result = code.decode_bit_flipping(hard)
+            if soft_result.success and np.array_equal(soft_result.codeword,
+                                                      codeword):
+                soft_wins += 1
+            if hard_result.success and np.array_equal(hard_result.codeword,
+                                                      codeword):
+                hard_wins += 1
+        assert soft_wins >= hard_wins
+
+    def test_shape_validation(self, code):
+        with pytest.raises(ValueError):
+            code.decode_bit_flipping(np.zeros(3, dtype=int))

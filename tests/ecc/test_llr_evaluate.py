@@ -1,0 +1,248 @@
+"""Tests for LLR computation and end-to-end ECC evaluation over the channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    BCHCode,
+    LDPCCode,
+    LevelDensityTable,
+    densities_from_channel,
+    densities_from_samples,
+    evaluate_bch_over_channel,
+    evaluate_ldpc_over_channel,
+    llr_quality_summary,
+    page_llrs,
+    required_bch_capability,
+)
+from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+from repro.flash.cell import GRAY_MAP, LOWER_PAGE, NUM_LEVELS, levels_to_pages
+
+
+@pytest.fixture
+def params() -> FlashParameters:
+    return FlashParameters()
+
+
+@pytest.fixture
+def channel(params) -> FlashChannel:
+    return FlashChannel(params, geometry=BlockGeometry(32, 32),
+                        rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def density_table(channel, params) -> LevelDensityTable:
+    return densities_from_channel(channel, 7000, num_bins=96, num_blocks=3,
+                                  params=params)
+
+
+class TestLevelDensityTable:
+    def test_from_samples_shapes(self, channel, params):
+        program, voltages = channel.paired_blocks(2, 4000)
+        table = densities_from_samples(program, voltages, num_bins=64,
+                                       params=params)
+        assert table.grid.shape == (64,)
+        assert table.densities.shape == (NUM_LEVELS, 64)
+
+    def test_density_peaks_near_level_means(self, channel, params):
+        program, voltages = channel.paired_blocks(4, 4000)
+        table = densities_from_samples(program, voltages, num_bins=128,
+                                       params=params)
+        # Erased cells receive the full ICI shift, so their peak sits well
+        # above the nominal erased mean; check the programmed levels only.
+        for level in range(1, NUM_LEVELS):
+            peak = table.grid[np.argmax(table.densities[level])]
+            assert abs(peak - params.level_means[level]) < 25.0
+
+    def test_lookup_is_floored(self, density_table):
+        # A voltage far outside any level's support still returns a positive
+        # density so the LLRs stay finite.
+        values = density_table.lookup(np.array([0.0]), 7)
+        assert values[0] > 0.0
+
+    def test_lookup_rejects_bad_level(self, density_table):
+        with pytest.raises(ValueError):
+            density_table.lookup(np.array([100.0]), 9)
+
+    def test_validation(self):
+        grid = np.linspace(0, 1, 16)
+        with pytest.raises(ValueError):
+            LevelDensityTable(grid=grid[::-1], densities=np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            LevelDensityTable(grid=grid, densities=np.zeros((7, 16)))
+        with pytest.raises(ValueError):
+            LevelDensityTable(grid=grid, densities=-np.ones((8, 16)))
+
+    def test_from_samples_validation(self, channel):
+        program, voltages = channel.paired_blocks(1, 4000)
+        with pytest.raises(ValueError):
+            densities_from_samples(program[:, :8], voltages)
+        with pytest.raises(ValueError):
+            densities_from_samples(program, voltages, num_bins=4)
+        with pytest.raises(ValueError):
+            densities_from_samples(program, voltages,
+                                   voltage_range=(100.0, 50.0))
+
+
+class TestPageLLRs:
+    def test_sign_matches_written_bit_for_clean_voltages(self, params,
+                                                         density_table):
+        """A cell read exactly at its level mean gets an LLR of the right sign."""
+        levels = np.arange(NUM_LEVELS)
+        voltages = params.means_array[levels]
+        for page in (0, 1, 2):
+            llrs = page_llrs(voltages, page, density_table)
+            bits = levels_to_pages(levels)[..., page]
+            correct = np.sign(llrs) == np.where(bits == 0, 1.0, -1.0)
+            # The density table is a histogram estimate: allow one outlier.
+            assert correct.sum() >= NUM_LEVELS - 1
+
+    def test_llr_magnitude_clipped(self, density_table):
+        voltages = np.linspace(0, 650, 100)
+        llrs = page_llrs(voltages, LOWER_PAGE, density_table, clip=12.0)
+        assert np.all(np.abs(llrs) <= 12.0)
+
+    def test_priors_shift_the_llrs(self, density_table):
+        voltages = np.array([300.0])
+        balanced = page_llrs(voltages, LOWER_PAGE, density_table)
+        zero_levels = [level for level in range(NUM_LEVELS)
+                       if GRAY_MAP[level][LOWER_PAGE] == 0]
+        priors = np.full(NUM_LEVELS, 0.01)
+        priors[zero_levels] = 1.0
+        priors /= priors.sum()
+        skewed = page_llrs(voltages, LOWER_PAGE, density_table, priors=priors)
+        assert skewed[0] > balanced[0]
+
+    def test_validation(self, density_table):
+        voltages = np.array([100.0])
+        with pytest.raises(ValueError):
+            page_llrs(voltages, 3, density_table)
+        with pytest.raises(ValueError):
+            page_llrs(voltages, 0, density_table, clip=0.0)
+        with pytest.raises(ValueError):
+            page_llrs(voltages, 0, density_table,
+                      priors=np.array([0.5, 0.5]))
+
+    def test_hard_decisions_from_llrs_track_wear(self, channel, params,
+                                                 density_table):
+        """LLR hard decisions show more lower-page errors at higher wear."""
+        rates = {}
+        for pe_cycles in (4000, 10000):
+            program, voltages = channel.paired_blocks(3, pe_cycles)
+            llrs = page_llrs(voltages, LOWER_PAGE, density_table)
+            bits = levels_to_pages(program)[..., LOWER_PAGE]
+            summary = llr_quality_summary(llrs, bits)
+            rates[pe_cycles] = summary["hard_bit_error_rate"]
+        assert rates[10000] > rates[4000]
+
+
+class TestLLRQualitySummary:
+    def test_perfect_llrs(self):
+        bits = np.array([0, 1, 0, 1])
+        llrs = np.array([5.0, -5.0, 3.0, -2.0])
+        summary = llr_quality_summary(llrs, bits)
+        assert summary["hard_bit_error_rate"] == 0.0
+        assert summary["overconfident_error_fraction"] == 0.0
+        assert summary["mean_llr_magnitude"] == pytest.approx(3.75)
+
+    def test_all_wrong_llrs(self):
+        bits = np.array([0, 1])
+        llrs = np.array([-4.0, 4.0])
+        summary = llr_quality_summary(llrs, bits)
+        assert summary["hard_bit_error_rate"] == 1.0
+        assert summary["overconfident_error_fraction"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            llr_quality_summary(np.array([1.0]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            llr_quality_summary(np.array([]), np.array([]))
+
+    def test_zero_llrs_not_overconfident(self):
+        summary = llr_quality_summary(np.zeros(4), np.array([0, 1, 0, 1]))
+        assert summary["overconfident_error_fraction"] == 0.0
+
+
+class TestEndToEndEvaluation:
+    def test_bch_corrects_the_simulated_channel(self, channel, params):
+        code = BCHCode(m=6, t=4)
+        result = evaluate_bch_over_channel(code, channel, 7000,
+                                           num_codewords=8,
+                                           rng=np.random.default_rng(1),
+                                           params=params)
+        assert result.codewords == 8
+        assert 0.0 <= result.raw_bit_error_rate <= 1.0
+        assert result.post_correction_bit_error_rate <= result.raw_bit_error_rate
+        assert result.frame_error_rate <= 0.5
+
+    def test_bch_frame_errors_grow_with_wear(self, channel, params):
+        code = BCHCode(m=6, t=1)
+        young = evaluate_bch_over_channel(code, channel, 1000,
+                                          num_codewords=12,
+                                          rng=np.random.default_rng(2),
+                                          params=params)
+        old = evaluate_bch_over_channel(code, channel, 10000,
+                                        num_codewords=12,
+                                        rng=np.random.default_rng(2),
+                                        params=params)
+        assert old.raw_bit_error_rate >= young.raw_bit_error_rate
+
+    def test_ldpc_soft_decoding_over_the_channel(self, channel, params,
+                                                 density_table):
+        code = LDPCCode.regular(n=96, column_weight=3, row_weight=6,
+                                rng=np.random.default_rng(3))
+        result = evaluate_ldpc_over_channel(code, channel, 7000,
+                                            density_table, num_codewords=6,
+                                            rng=np.random.default_rng(4),
+                                            params=params)
+        assert result.codewords == 6
+        assert result.post_correction_bit_error_rate <= result.raw_bit_error_rate
+
+    def test_num_codewords_validation(self, channel, params, density_table):
+        code = BCHCode(m=4, t=1)
+        with pytest.raises(ValueError):
+            evaluate_bch_over_channel(code, channel, 4000, num_codewords=0)
+        ldpc = LDPCCode.regular(n=24, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            evaluate_ldpc_over_channel(ldpc, channel, 4000, density_table,
+                                       num_codewords=0)
+
+    def test_frames_failed_property(self):
+        from repro.ecc.evaluate import CodewordChannelResult
+        result = CodewordChannelResult(pe_cycles=4000, codewords=10,
+                                       raw_bit_error_rate=0.01,
+                                       frame_error_rate=0.2,
+                                       post_correction_bit_error_rate=0.0)
+        assert result.frames_failed == 2
+
+
+class TestRequiredBCHCapability:
+    def test_zero_error_rate_needs_no_correction(self):
+        assert required_bch_capability(0.0, 1024) == 0
+
+    def test_capability_grows_with_error_rate(self):
+        low = required_bch_capability(1e-4, 1024)
+        high = required_bch_capability(1e-2, 1024)
+        assert high > low
+
+    def test_capability_grows_with_codeword_length(self):
+        short = required_bch_capability(1e-3, 512)
+        long = required_bch_capability(1e-3, 4096)
+        assert long > short
+
+    def test_stricter_target_needs_more_correction(self):
+        loose = required_bch_capability(1e-3, 1024, target_frame_error_rate=1e-2)
+        strict = required_bch_capability(1e-3, 1024, target_frame_error_rate=1e-6)
+        assert strict > loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_bch_capability(-0.1, 100)
+        with pytest.raises(ValueError):
+            required_bch_capability(0.01, 0)
+        with pytest.raises(ValueError):
+            required_bch_capability(0.01, 100, target_frame_error_rate=1.5)
+        with pytest.raises(ValueError):
+            required_bch_capability(0.4, 100, max_t=2)

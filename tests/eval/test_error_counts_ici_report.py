@@ -1,0 +1,212 @@
+"""Tests for error counting, ICI profiling and text reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import gaussian_pdf
+from repro.eval import (
+    error_counts_from_samples,
+    error_probability_from_pdf,
+    format_bar_chart,
+    format_pie_summary,
+    format_table,
+    ici_error_profile,
+    normalized_error_counts,
+    pattern_rank_order,
+    rank_agreement,
+    stacked_error_table,
+    top_pattern_frequencies,
+)
+from repro.flash import (
+    BlockGeometry,
+    FlashChannel,
+    FlashParameters,
+    default_read_thresholds,
+)
+
+
+@pytest.fixture
+def paired_data():
+    channel = FlashChannel(geometry=BlockGeometry(32, 32),
+                           rng=np.random.default_rng(23))
+    return channel.paired_blocks(40, 7000)
+
+
+class TestErrorCounts:
+    def test_counts_exclude_level_zero(self, paired_data):
+        program, voltages = paired_data
+        counts = error_counts_from_samples(program, voltages)
+        assert counts.shape == (7,)
+
+    def test_counts_grow_with_wear(self):
+        channel = FlashChannel(geometry=BlockGeometry(32, 32),
+                               rng=np.random.default_rng(5))
+        totals = {}
+        for pe in (4000, 10000):
+            program, voltages = channel.paired_blocks(40, pe)
+            totals[pe] = error_counts_from_samples(program, voltages).sum()
+        assert totals[10000] > totals[4000]
+
+    def test_error_probability_from_gaussian_pdf(self):
+        """Closed-form check: mass outside +-1 threshold window."""
+        params = FlashParameters()
+        thresholds = default_read_thresholds(params)
+        level = 4
+        mu = params.means_array[level]
+        sigma = 10.0
+        grid = np.linspace(0, 650, 6501)
+        pdf = gaussian_pdf(grid, mu, sigma)
+        probability = error_probability_from_pdf(grid, pdf, level,
+                                                 thresholds, params)
+        from scipy import stats
+        expected = (stats.norm.cdf(thresholds[level - 1], mu, sigma)
+                    + stats.norm.sf(thresholds[level], mu, sigma))
+        assert probability == pytest.approx(expected, abs=1e-3)
+
+    def test_error_probability_level7_one_sided(self):
+        params = FlashParameters()
+        grid = np.linspace(0, 650, 6501)
+        pdf = gaussian_pdf(grid, params.means_array[7], 9.0)
+        probability = error_probability_from_pdf(grid, pdf, 7, params=params)
+        from scipy import stats
+        expected = stats.norm.cdf(default_read_thresholds(params)[6],
+                                  params.means_array[7], 9.0)
+        assert probability == pytest.approx(expected, abs=1e-3)
+
+    def test_error_probability_rejects_bad_level(self):
+        grid = np.linspace(0, 650, 100)
+        with pytest.raises(ValueError):
+            error_probability_from_pdf(grid, np.ones_like(grid), 9)
+
+    def test_error_probability_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_probability_from_pdf(np.zeros(5), np.zeros(4), 1)
+
+    def test_error_probability_rejects_zero_mass(self):
+        grid = np.linspace(0, 650, 100)
+        with pytest.raises(ValueError):
+            error_probability_from_pdf(grid, np.zeros_like(grid), 1)
+
+    def test_normalized_error_counts_reference_is_one(self):
+        counts = {"measured_4000": np.array([1.0, 2.0, 3.0]),
+                  "model_4000": np.array([2.0, 2.0, 4.0])}
+        normalized = normalized_error_counts(counts, "measured_4000")
+        assert normalized["measured_4000"].sum() == pytest.approx(1.0)
+        assert normalized["model_4000"].sum() == pytest.approx(8.0 / 6.0)
+
+    def test_normalized_error_counts_explicit_reference_total(self):
+        counts = {"a": np.array([1.0, 1.0])}
+        normalized = normalized_error_counts(counts, "a", reference_total=4.0)
+        assert normalized["a"].sum() == pytest.approx(0.5)
+
+    def test_normalized_error_counts_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalized_error_counts({"a": np.array([1.0])}, "b")
+
+    def test_normalized_error_counts_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalized_error_counts({"a": np.array([0.0])}, "a")
+
+    def test_stacked_error_table_rows(self):
+        normalized = {"M": np.array([0.1] * 7), "G": np.array([0.2] * 7)}
+        rows = stacked_error_table(normalized)
+        assert len(rows) == 2
+        assert rows[0]["model"] == "M"
+        assert rows[0]["total"] == pytest.approx(0.7)
+        assert set(rows[0]) >= {f"level_{i}" for i in range(1, 8)}
+
+
+class TestICIAnalysis:
+    def test_profile_has_both_directions(self, paired_data):
+        program, voltages = paired_data
+        profile = ici_error_profile(program, voltages)
+        assert set(profile) == {"wl", "bl"}
+
+    def test_profile_frequencies_sum_to_one(self, paired_data):
+        program, voltages = paired_data
+        profile = ici_error_profile(program, voltages)
+        for direction in ("wl", "bl"):
+            values = [value for key, value in profile[direction].items()
+                      if not key.startswith("__")]
+            assert sum(values) == pytest.approx(1.0)
+
+    def test_profile_reports_total_errors(self, paired_data):
+        program, voltages = paired_data
+        profile = ici_error_profile(program, voltages)
+        assert profile["bl"]["__total_errors__"] > 0
+
+    def test_707_dominates_bitline_direction(self, paired_data):
+        program, voltages = paired_data
+        profile = ici_error_profile(program, voltages)
+        assert pattern_rank_order(profile["bl"], top_k=1) == ["707"]
+
+    def test_top_pattern_frequencies_aggregates_others(self):
+        frequencies = {f"70{i}": 0.1 for i in range(8)}
+        frequencies["606"] = 0.2
+        top = top_pattern_frequencies(frequencies, top_k=3)
+        assert len(top) == 4  # 3 named + "others"
+        assert top["others"] == pytest.approx(sum(frequencies.values())
+                                              - sum(sorted(frequencies.values())[-3:]))
+
+    def test_top_pattern_frequencies_ignores_metadata(self):
+        frequencies = {"707": 0.6, "606": 0.4, "__total_errors__": 100.0}
+        top = top_pattern_frequencies(frequencies, top_k=5)
+        assert "__total_errors__" not in top
+
+    def test_pattern_rank_order_sorted(self):
+        frequencies = {"707": 0.5, "606": 0.2, "607": 0.3}
+        assert pattern_rank_order(frequencies) == ["707", "607", "606"]
+
+    def test_rank_agreement_perfect(self):
+        frequencies = {"707": 0.5, "607": 0.3, "606": 0.2}
+        assert rank_agreement(frequencies, frequencies, top_k=3) == 1.0
+
+    def test_rank_agreement_partial(self):
+        reference = {"707": 0.5, "607": 0.3, "606": 0.2}
+        candidate = {"707": 0.5, "505": 0.3, "404": 0.2}
+        assert rank_agreement(reference, candidate, top_k=3) == pytest.approx(1 / 3)
+
+    def test_rank_agreement_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            rank_agreement({}, {}, top_k=0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"model": "M", "total": 1.0}, {"model": "cV-G", "total": 1.36}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "model" in lines[0] and "total" in lines[0]
+        assert "1.360" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_bar_chart_scales_bars(self):
+        chart = format_bar_chart({"x": 1.0, "y": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_format_bar_chart_empty(self):
+        assert format_bar_chart({}) == "(no data)"
+
+    def test_format_pie_summary_contains_percentages(self):
+        text = format_pie_summary({"707": 0.25, "606": 0.75,
+                                   "__total_errors__": 42.0}, title="BL")
+        assert "BL" in text
+        assert "75.0%" in text
+        assert "42" in text
+
+    def test_format_pie_summary_truncates_to_top_k(self):
+        frequencies = {f"p{i}": 0.1 for i in range(10)}
+        text = format_pie_summary(frequencies, top_k=3)
+        assert text.count("%") == 4  # three named + others

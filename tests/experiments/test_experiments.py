@@ -1,0 +1,230 @@
+"""Tests for the experiment drivers (Figs. 2, 4, 5, 6 and Remark 3).
+
+These tests use very small workloads and an *untrained* generative model —
+they validate the plumbing of every driver (data flow, normalisation,
+result/row/format contracts), while the benchmark harness produces the
+full-quality numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GenerativeChannelModel, ModelConfig, build_model
+from repro.data import generate_paired_dataset
+from repro.experiments import (
+    ExperimentSetup,
+    PAPER_PE_CYCLES,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_remark3,
+)
+from repro.flash import BlockGeometry, FlashChannel
+from repro.flash.patterns import BITLINE, WORDLINE
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return FlashChannel(rng=np.random.default_rng(41))
+
+
+@pytest.fixture(scope="module")
+def untrained_model():
+    config = ModelConfig.tiny()
+    model = build_model("cvae_gan", config, rng=np.random.default_rng(42))
+    return GenerativeChannelModel(model, rng=np.random.default_rng(43))
+
+
+@pytest.fixture(scope="module")
+def evaluation_arrays(channel):
+    arrays = {}
+    for pe in (4000, 7000):
+        program, voltages = channel.paired_blocks(6, pe)
+        # Crop to the tiny model's 8x8 array size.
+        from repro.data import crop_blocks
+        arrays[pe] = (crop_blocks(program, 8), crop_blocks(voltages, 8))
+    return arrays
+
+
+class TestExperimentSetup:
+    def test_quick_scale_defaults(self):
+        setup = ExperimentSetup(scale="quick", arrays_per_pe=4)
+        assert setup.array_size == 16
+        assert setup.model_config().array_size == 16
+
+    def test_paper_scale_config(self):
+        setup = ExperimentSetup(scale="paper", arrays_per_pe=4)
+        assert setup.array_size == 64
+        assert setup.model_config() == ModelConfig.paper()
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentSetup(scale="huge")
+
+    def test_dataset_cached(self):
+        setup = ExperimentSetup(arrays_per_pe=4, pe_cycles=(4000,))
+        assert setup.dataset() is setup.dataset()
+
+    def test_paper_pe_cycles_constant(self):
+        assert PAPER_PE_CYCLES == (4000, 7000, 10000)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self, channel):
+        return run_fig2(channel, blocks_per_pe=25)
+
+    def test_covers_all_read_points(self, result):
+        assert set(result.level_error_rates) == {4000, 7000, 10000}
+
+    def test_error_rate_monotone(self, result):
+        rates = result.level_error_rates
+        assert rates[4000] < rates[10000]
+
+    def test_reference_pattern_normalised_to_one(self, result):
+        assert result.pattern_counts[("707", BITLINE)][4000] == pytest.approx(1.0)
+
+    def test_pattern_counts_grow_with_wear(self, result):
+        counts = result.pattern_counts[("707", BITLINE)]
+        assert counts[10000] > counts[4000]
+
+    def test_rows_and_format(self, result):
+        rows = result.rows()
+        assert len(rows) == 9
+        text = result.format()
+        assert "707" in text and "level_error_rate" in text
+
+    def test_rejects_zero_blocks(self, channel):
+        with pytest.raises(ValueError):
+            run_fig2(channel, blocks_per_pe=0)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, evaluation_arrays, untrained_model):
+        return run_fig4(evaluation_arrays, untrained_model, bins=80)
+
+    def test_measured_and_modeled_pdfs_present(self, result):
+        assert set(result.measured) == {4000, 7000}
+        assert set(result.modeled) == {4000, 7000}
+        assert set(result.measured[4000]) == set(range(1, 8))
+
+    def test_summary_rows_cover_levels_and_pe(self, result):
+        rows = result.rows()
+        assert len(rows) == 2 * 7
+        assert {"pe_cycles", "level", "measured_peak", "modeled_peak",
+                "tv_distance"} <= set(rows[0])
+
+    def test_measured_peak_drops_with_wear(self, result):
+        peaks = {row["pe_cycles"]: row["measured_peak"]
+                 for row in result.rows() if row["level"] == 4}
+        assert peaks[7000] < peaks[4000]
+
+    def test_tv_distances_bounded(self, result):
+        assert all(0.0 <= row["tv_distance"] <= 1.0 for row in result.rows())
+
+    def test_format_mentions_fig4(self, result):
+        assert "Fig. 4" in result.format()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, channel, evaluation_arrays, untrained_model):
+        dataset = generate_paired_dataset(channel, pe_cycles=(4000, 7000),
+                                          arrays_per_pe=30, array_size=32)
+        return run_fig5(dataset, evaluation_arrays,
+                        generative_model=untrained_model,
+                        baseline_iterations=120,
+                        rng=np.random.default_rng(7))
+
+    def test_all_models_present(self, result):
+        for pe in (4000, 7000):
+            assert set(result.counts[pe]) == {"M", "cV-G", "G", "NL", "S't"}
+
+    def test_measured_reference_normalised(self, result):
+        assert result.counts[4000]["M"].sum() == pytest.approx(1.0)
+
+    def test_measured_errors_grow_with_wear(self, result):
+        totals = result.totals()
+        assert totals[7000]["M"] > totals[4000]["M"]
+
+    def test_statistical_fits_track_measured_totals(self, result):
+        """The NL fit must land within a factor ~2 of the measured total."""
+        totals = result.totals()
+        for pe in (4000, 7000):
+            assert 0.4 * totals[pe]["M"] < totals[pe]["NL"] < 2.5 * totals[pe]["M"]
+
+    def test_rows_have_per_level_stacks(self, result):
+        rows = result.rows()
+        assert all(f"level_{index}" in rows[0] for index in range(1, 8))
+
+    def test_format_contains_reference_note(self, result):
+        assert "4000" in result.format()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, channel, untrained_model):
+        program, voltages = channel.paired_blocks(30, 7000)
+        from repro.data import crop_blocks
+        return run_fig6(crop_blocks(program, 8), crop_blocks(voltages, 8),
+                        untrained_model, pe_cycles=7000)
+
+    def test_profiles_for_both_directions(self, result):
+        assert set(result.measured) == {WORDLINE, BITLINE}
+        assert set(result.modeled) == {WORDLINE, BITLINE}
+
+    def test_measured_bitline_dominated_by_707(self, result):
+        frequencies = {key: value
+                       for key, value in result.measured[BITLINE].items()
+                       if not key.startswith("__")}
+        assert max(frequencies, key=frequencies.get) == "707"
+
+    def test_rank_agreement_bounded(self, result):
+        for value in result.rank_agreement_top5.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_rows_compare_measured_and_modeled(self, result):
+        rows = result.rows()
+        assert rows
+        assert {"direction", "pattern", "measured_fraction",
+                "modeled_fraction"} <= set(rows[0])
+
+    def test_format_contains_pie_summaries(self, result):
+        text = result.format()
+        assert "measured (WL)" in text and "cVAE-GAN (BL)" in text
+
+
+class TestRemark3:
+    @pytest.fixture(scope="class")
+    def result(self, channel):
+        config = ModelConfig.tiny()
+        dataset = generate_paired_dataset(channel, pe_cycles=(4000,),
+                                          arrays_per_pe=16, array_size=8)
+        from repro.data import crop_blocks
+        program, voltages = channel.paired_blocks(4, 4000)
+        evaluation = {4000: (crop_blocks(program, 8),
+                             crop_blocks(voltages, 8))}
+        return run_remark3(dataset, evaluation, config,
+                           architectures=("cvae_gan", "cvae"), epochs=1,
+                           seed=3)
+
+    def test_requested_architectures_present(self, result):
+        assert set(result.tv_distances) == {"cvae_gan", "cvae"}
+
+    def test_tv_values_bounded(self, result):
+        for by_pe in result.tv_distances.values():
+            for value in by_pe.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_best_architecture_is_one_of_the_candidates(self, result):
+        assert result.best_architecture() in {"cvae_gan", "cvae"}
+
+    def test_rows_and_format(self, result):
+        rows = result.rows()
+        assert len(rows) == 2
+        assert "tv_mean" in rows[0]
+        assert "Remark 3" in result.format()

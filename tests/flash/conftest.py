@@ -1,0 +1,29 @@
+"""Shared fixtures for the flash channel simulator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture
+def params() -> FlashParameters:
+    return FlashParameters()
+
+
+@pytest.fixture
+def channel(rng) -> FlashChannel:
+    return FlashChannel(rng=rng)
+
+
+@pytest.fixture
+def small_channel(rng) -> FlashChannel:
+    """A channel with small 16x16 blocks for fast tests."""
+    return FlashChannel(geometry=BlockGeometry(16, 16), rng=rng)

@@ -1,0 +1,263 @@
+"""Tests for pattern analysis, the flash channel and the cycling experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import (
+    BITLINE,
+    WORDLINE,
+    BlockGeometry,
+    FlashChannel,
+    FlashParameters,
+    PECyclingExperiment,
+    TOP_ERROR_PATTERNS,
+    count_error_patterns,
+    extract_bitline_patterns,
+    extract_wordline_patterns,
+    pattern_label,
+    pattern_relative_frequencies,
+    top_error_pattern_counts,
+)
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.patterns import decode_pattern
+
+
+class TestPatternExtraction:
+    def test_pattern_label(self):
+        assert pattern_label(7, 0, 7) == "707"
+        assert pattern_label(6, 0, 7) == "607"
+
+    def test_pattern_label_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            pattern_label(8, 0, 0)
+
+    def test_decode_pattern_roundtrip(self):
+        for pattern in ("707", "000", "123", "775"):
+            code = (int(pattern[0]) * 64 + int(pattern[1]) * 8 + int(pattern[2]))
+            assert decode_pattern(code) == pattern
+
+    def test_wordline_patterns_shape(self, rng):
+        levels = rng.integers(0, NUM_LEVELS, size=(6, 9))
+        assert extract_wordline_patterns(levels).shape == (6, 7)
+
+    def test_bitline_patterns_shape(self, rng):
+        levels = rng.integers(0, NUM_LEVELS, size=(6, 9))
+        assert extract_bitline_patterns(levels).shape == (4, 9)
+
+    def test_wordline_pattern_values(self):
+        levels = np.array([[7, 0, 7, 1]])
+        patterns = extract_wordline_patterns(levels)
+        assert decode_pattern(int(patterns[0, 0])) == "707"
+        assert decode_pattern(int(patterns[0, 1])) == "071"
+
+    def test_bitline_pattern_values(self):
+        levels = np.array([[7], [0], [6]])
+        patterns = extract_bitline_patterns(levels)
+        assert decode_pattern(int(patterns[0, 0])) == "706"
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            extract_wordline_patterns(np.arange(5))
+
+    def test_top_error_patterns_all_have_victim_zero(self):
+        assert all(pattern[1] == "0" for pattern, _ in TOP_ERROR_PATTERNS)
+        assert ("707", BITLINE) in TOP_ERROR_PATTERNS
+
+
+class TestErrorPatternCounting:
+    def test_no_errors_gives_empty_counter(self, params):
+        levels = np.zeros((8, 8), dtype=int)
+        voltages = np.full((8, 8), params.means_array[0])
+        counts = count_error_patterns(levels, voltages, BITLINE, params=params)
+        assert sum(counts.values()) == 0
+
+    def test_constructed_error_is_attributed_to_its_pattern(self, params):
+        """An erased victim pushed above Vth(01) counts toward its pattern."""
+        levels = np.zeros((3, 3), dtype=int)
+        levels[0, 1], levels[2, 1] = 7, 6          # BL pattern 706
+        voltages = params.means_array[levels].astype(float)
+        voltages[1, 1] = 120.0                     # above Vth(01)
+        counts = count_error_patterns(levels, voltages, BITLINE, params=params)
+        assert counts == {"706": 1}
+
+    def test_wordline_direction_uses_row_neighbours(self, params):
+        levels = np.zeros((3, 3), dtype=int)
+        levels[1, 0], levels[1, 2] = 5, 7          # WL pattern 507
+        voltages = params.means_array[levels].astype(float)
+        voltages[1, 1] = 120.0
+        counts = count_error_patterns(levels, voltages, WORDLINE, params=params)
+        assert counts == {"507": 1}
+
+    def test_non_victim_errors_ignored(self, params):
+        levels = np.full((3, 3), 3, dtype=int)
+        voltages = params.means_array[levels].astype(float)
+        voltages[1, 1] = 500.0                     # error at level 3, not level 0
+        counts = count_error_patterns(levels, voltages, BITLINE,
+                                      victim_level=0, params=params)
+        assert sum(counts.values()) == 0
+
+    def test_custom_victim_level(self, params):
+        levels = np.full((3, 3), 3, dtype=int)
+        voltages = params.means_array[levels].astype(float)
+        voltages[1, 1] = 500.0
+        counts = count_error_patterns(levels, voltages, BITLINE,
+                                      victim_level=3, params=params)
+        assert counts == {"333": 1}
+
+    def test_invalid_direction_rejected(self, params):
+        with pytest.raises(ValueError):
+            count_error_patterns(np.zeros((3, 3), dtype=int),
+                                 np.zeros((3, 3)), "diagonal", params=params)
+
+    def test_shape_mismatch_rejected(self, params):
+        with pytest.raises(ValueError):
+            count_error_patterns(np.zeros((3, 3), dtype=int),
+                                 np.zeros((4, 4)), BITLINE, params=params)
+
+    def test_relative_frequencies_sum_to_one(self, channel):
+        program, voltages = channel.paired_blocks(20, 10000)
+        counts = count_error_patterns(program, voltages, BITLINE)
+        frequencies = pattern_relative_frequencies(counts)
+        if frequencies:
+            assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_relative_frequencies_empty_counter(self):
+        assert pattern_relative_frequencies({}) == {}
+
+    def test_top_error_pattern_counts_keys(self, channel):
+        program, voltages = channel.paired_blocks(5, 7000)
+        counts = top_error_pattern_counts(program, voltages)
+        assert set(counts) == set(TOP_ERROR_PATTERNS)
+
+
+class TestFlashChannel:
+    def test_read_shape_matches_input(self, small_channel):
+        levels = small_channel.program_random_block()
+        assert small_channel.read(levels, 4000).shape == levels.shape
+
+    def test_read_rejects_invalid_levels(self, small_channel):
+        with pytest.raises(ValueError):
+            small_channel.read(np.full((4, 4), 9), 4000)
+
+    def test_read_rejects_negative_pe(self, small_channel):
+        with pytest.raises(ValueError):
+            small_channel.read(np.zeros((4, 4), dtype=int), -1)
+
+    def test_read_rejects_one_dimensional(self, small_channel):
+        with pytest.raises(ValueError):
+            small_channel.read(np.zeros(4, dtype=int), 4000)
+
+    def test_program_random_block_levels_valid(self, channel):
+        block = channel.program_random_block()
+        assert block.shape == channel.geometry.shape
+        assert block.min() >= 0 and block.max() < NUM_LEVELS
+
+    def test_program_random_block_covers_all_levels(self, channel):
+        block = channel.program_random_block()
+        assert len(np.unique(block)) == NUM_LEVELS
+
+    def test_apply_program_errors_rate(self):
+        params = FlashParameters(program_error_rate=0.05)
+        channel = FlashChannel(params, rng=np.random.default_rng(1))
+        levels = np.full((200, 200), 4)
+        programmed = channel.apply_program_errors(levels)
+        rate = np.mean(programmed != levels)
+        assert 0.03 < rate < 0.07
+
+    def test_apply_program_errors_adjacent_only(self):
+        params = FlashParameters(program_error_rate=0.5)
+        channel = FlashChannel(params, rng=np.random.default_rng(2))
+        levels = np.full((50, 50), 4)
+        programmed = channel.apply_program_errors(levels)
+        assert set(np.unique(programmed)).issubset({3, 4, 5})
+
+    def test_apply_program_errors_zero_rate_is_identity(self):
+        params = FlashParameters(program_error_rate=0.0)
+        channel = FlashChannel(params, rng=np.random.default_rng(3))
+        levels = np.full((10, 10), 2)
+        np.testing.assert_array_equal(channel.apply_program_errors(levels),
+                                      levels)
+
+    def test_read_hard_mostly_correct(self, channel):
+        levels = channel.program_random_block()
+        hard = channel.read_hard(levels, 4000)
+        assert np.mean(hard == levels) > 0.95
+
+    def test_paired_blocks_shapes(self, small_channel):
+        program, voltages = small_channel.paired_blocks(3, 7000)
+        assert program.shape == (3, 16, 16)
+        assert voltages.shape == (3, 16, 16)
+
+    def test_paired_blocks_rejects_zero_blocks(self, small_channel):
+        with pytest.raises(ValueError):
+            small_channel.paired_blocks(0, 4000)
+
+    def test_ici_increases_erased_cell_voltage(self, params):
+        channel = FlashChannel(params, rng=np.random.default_rng(5))
+        levels = np.zeros((32, 32), dtype=int)
+        levels[::2, :] = 7   # alternate rows of level 7: strong BL aggressors
+        with_ici = channel.read(levels, 4000, apply_ici=True)
+        channel_no = FlashChannel(params, rng=np.random.default_rng(5))
+        without_ici = channel_no.read(levels, 4000, apply_ici=False)
+        erased_mask = levels == 0
+        assert with_ici[erased_mask].mean() > without_ici[erased_mask].mean() + 10
+
+    def test_conditional_pdf_reference_integrates_to_one(self, channel):
+        grid = np.linspace(0, 650, 2001)
+        pdf = channel.conditional_pdf_reference(3, 7000, grid)
+        assert np.trapezoid(pdf, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_bitline_patterns_more_error_prone_than_wordline(self):
+        """Paper: pattern 707 in the BL direction is the most severe."""
+        channel = FlashChannel(rng=np.random.default_rng(123))
+        program, voltages = channel.paired_blocks(60, 7000)
+        wl_counts = count_error_patterns(program, voltages, WORDLINE)
+        bl_counts = count_error_patterns(program, voltages, BITLINE)
+        wl_frequencies = pattern_relative_frequencies(wl_counts)
+        bl_frequencies = pattern_relative_frequencies(bl_counts)
+        assert bl_frequencies.get("707", 0) > wl_frequencies.get("707", 0)
+        # 707 must be the dominant BL pattern.
+        assert max(bl_frequencies, key=bl_frequencies.get) == "707"
+
+
+class TestCyclingExperiment:
+    def test_default_read_points(self):
+        experiment = PECyclingExperiment(blocks_per_read_point=1)
+        assert experiment.read_points == (4000, 7000, 10000)
+
+    def test_run_returns_one_record_per_read_point(self, rng):
+        channel = FlashChannel(geometry=BlockGeometry(16, 16), rng=rng)
+        experiment = PECyclingExperiment(channel=channel,
+                                         read_points=(1000, 2000),
+                                         blocks_per_read_point=2)
+        records = experiment.run()
+        assert [record.pe_cycles for record in records] == [1000, 2000]
+        assert all(record.num_blocks == 2 for record in records)
+
+    def test_record_properties(self, rng):
+        channel = FlashChannel(geometry=BlockGeometry(8, 8), rng=rng)
+        experiment = PECyclingExperiment(channel=channel, read_points=(4000,),
+                                         blocks_per_read_point=3)
+        record = experiment.run()[0]
+        assert record.num_cells == 3 * 64
+        assert 0.0 <= record.level_error_rate() <= 1.0
+
+    def test_run_as_dict_keys(self, rng):
+        channel = FlashChannel(geometry=BlockGeometry(8, 8), rng=rng)
+        experiment = PECyclingExperiment(channel=channel,
+                                         blocks_per_read_point=1)
+        assert set(experiment.run_as_dict()) == {4000, 7000, 10000}
+
+    def test_rejects_empty_read_points(self):
+        with pytest.raises(ValueError):
+            PECyclingExperiment(read_points=())
+
+    def test_rejects_non_positive_read_points(self):
+        with pytest.raises(ValueError):
+            PECyclingExperiment(read_points=(0,))
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            PECyclingExperiment(blocks_per_read_point=0)

@@ -1,0 +1,202 @@
+"""Tests for the data scrambler and the endurance sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import (
+    EnduranceSweep,
+    FlashChannel,
+    LFSR,
+    Scrambler,
+    estimate_endurance_limit,
+)
+from repro.flash.cell import NUM_LEVELS
+from repro.flash.endurance import EndurancePoint
+from repro.flash.geometry import BlockGeometry
+
+
+class TestLFSR:
+    def test_output_bits_are_binary(self):
+        lfsr = LFSR(seed=1)
+        bits = lfsr.bits(256)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_deterministic_for_a_seed(self):
+        first = LFSR(seed=0xBEEF).bits(128)
+        second = LFSR(seed=0xBEEF).bits(128)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = LFSR(seed=0x1).bits(128)
+        second = LFSR(seed=0x2).bits(128)
+        assert not np.array_equal(first, second)
+
+    def test_reset_restores_the_sequence(self):
+        lfsr = LFSR(seed=0xACE1)
+        first = lfsr.bits(64)
+        lfsr.reset()
+        second = lfsr.bits(64)
+        np.testing.assert_array_equal(first, second)
+
+    def test_default_polynomial_is_maximum_length(self):
+        lfsr = LFSR(seed=1)
+        assert lfsr.period() == 2 ** 16 - 1
+
+    def test_keystream_is_roughly_balanced(self):
+        bits = LFSR(seed=0x1234).bits(4096)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(seed=0)
+        with pytest.raises(ValueError):
+            LFSR(seed=1, width=1)
+        with pytest.raises(ValueError):
+            LFSR(seed=1, taps=())
+        with pytest.raises(ValueError):
+            LFSR(seed=1, taps=(99,))
+        with pytest.raises(ValueError):
+            LFSR(seed=2 ** 16, width=16)
+
+    def test_bits_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            LFSR(seed=1).bits(-1)
+
+
+class TestScrambler:
+    def test_scramble_descramble_bits_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, size=512)
+        scrambler = Scrambler(seed=0x5A5A)
+        np.testing.assert_array_equal(
+            scrambler.descramble_bits(scrambler.scramble_bits(data)), data)
+
+    def test_scramble_changes_the_data(self):
+        data = np.zeros(512, dtype=np.uint8)
+        scrambled = Scrambler().scramble_bits(data)
+        assert scrambled.sum() > 0
+
+    def test_scramble_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Scrambler().scramble_bits(np.array([0, 1, 2]))
+
+    def test_scramble_levels_roundtrip(self):
+        rng = np.random.default_rng(1)
+        levels = rng.integers(0, NUM_LEVELS, size=(16, 16))
+        scrambler = Scrambler(seed=0x1357)
+        recovered = scrambler.descramble_levels(
+            scrambler.scramble_levels(levels))
+        np.testing.assert_array_equal(recovered, levels)
+
+    def test_constant_payload_becomes_balanced(self):
+        """The whole point of a randomiser: all-zero data uses all levels."""
+        levels = np.zeros((64, 64), dtype=int)
+        balance = Scrambler(seed=0x2468).level_balance(levels)
+        assert np.count_nonzero(balance) == NUM_LEVELS
+        assert balance.max() < 0.3
+
+    def test_level_balance_sums_to_one(self):
+        levels = np.zeros((32, 32), dtype=int)
+        balance = Scrambler().level_balance(levels)
+        assert balance.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=1, max_value=2 ** 16 - 1))
+    def test_roundtrip_for_any_seed(self, seed):
+        data = np.arange(96) % 2
+        scrambler = Scrambler(seed=seed)
+        np.testing.assert_array_equal(
+            scrambler.descramble_bits(scrambler.scramble_bits(data)), data)
+
+
+def _small_sweep(seed: int = 0) -> EnduranceSweep:
+    channel = FlashChannel(geometry=BlockGeometry(32, 32),
+                           rng=np.random.default_rng(seed))
+    return EnduranceSweep(channel=channel,
+                          pe_points=(1000, 4000, 7000, 10000),
+                          blocks_per_point=2)
+
+
+class TestEnduranceSweep:
+    def test_run_returns_one_point_per_pe(self):
+        points = _small_sweep().run()
+        assert [point.pe_cycles for point in points] == [1000, 4000, 7000, 10000]
+
+    def test_error_rate_grows_with_cycling(self):
+        points = _small_sweep(seed=3).run()
+        rates = [point.level_error_rate for point in points]
+        assert rates[-1] > rates[0]
+
+    def test_worst_page_rber_bounds_the_mean(self):
+        for point in _small_sweep(seed=5).run():
+            if point.page_rber:
+                assert point.worst_page_rber >= np.mean(list(point.page_rber.values()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceSweep(pe_points=())
+        with pytest.raises(ValueError):
+            EnduranceSweep(pe_points=(-1, 10))
+        with pytest.raises(ValueError):
+            EnduranceSweep(pe_points=(10, 5))
+        with pytest.raises(ValueError):
+            EnduranceSweep(blocks_per_point=0)
+
+
+class TestEstimateEnduranceLimit:
+    @staticmethod
+    def _points(rates):
+        return [EndurancePoint(pe_cycles=pe, level_error_rate=rate,
+                               page_rber={"lower": rate})
+                for pe, rate in rates]
+
+    def test_interpolates_the_crossing(self):
+        points = self._points([(1000, 0.001), (2000, 0.003)])
+        limit = estimate_endurance_limit(points, rber_target=0.002)
+        assert limit == pytest.approx(1500.0)
+
+    def test_returns_none_when_never_exceeded(self):
+        points = self._points([(1000, 0.001), (2000, 0.0015)])
+        assert estimate_endurance_limit(points, rber_target=0.01) is None
+
+    def test_returns_zero_when_already_exceeded(self):
+        points = self._points([(1000, 0.05)])
+        assert estimate_endurance_limit(points, rber_target=0.01) == 0.0
+
+    def test_flat_curve_returns_the_crossing_point(self):
+        points = self._points([(1000, 0.002), (2000, 0.002)])
+        assert estimate_endurance_limit(points, rber_target=0.002) == 0.0
+
+    def test_stricter_target_gives_shorter_life(self):
+        points = self._points([(1000, 0.001), (5000, 0.003), (10000, 0.008)])
+        strict = estimate_endurance_limit(points, rber_target=0.002)
+        lenient = estimate_endurance_limit(points, rber_target=0.006)
+        assert strict < lenient
+
+    def test_level_error_rate_metric_selectable(self):
+        points = [EndurancePoint(pe_cycles=1000, level_error_rate=0.01,
+                                 page_rber={"lower": 0.001})]
+        by_page = estimate_endurance_limit(points, rber_target=0.005,
+                                           use_worst_page=True)
+        by_level = estimate_endurance_limit(points, rber_target=0.005,
+                                            use_worst_page=False)
+        assert by_page is None
+        assert by_level == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_endurance_limit([], rber_target=0.01)
+        with pytest.raises(ValueError):
+            estimate_endurance_limit(self._points([(1, 0.1)]), rber_target=0.0)
+
+    def test_sweep_to_limit_end_to_end(self):
+        points = _small_sweep(seed=7).run()
+        limit = estimate_endurance_limit(points, rber_target=0.02,
+                                         use_worst_page=False)
+        # With the default simulator parameters the channel stays well below
+        # 2% level error rate over the swept range.
+        assert limit is None or limit > 0

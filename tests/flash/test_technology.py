@@ -1,0 +1,164 @@
+"""Tests for the multi-level cell technology abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import (
+    MLC,
+    QLC,
+    SLC,
+    TLC,
+    CellTechnology,
+    MultiLevelCellChannel,
+    reflected_gray_code,
+)
+from repro.flash.technology import gray_bits_to_level, gray_level_to_bits
+
+
+class TestReflectedGrayCode:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5])
+    def test_adjacent_codewords_differ_in_one_bit(self, bits):
+        code = reflected_gray_code(bits)
+        for first, second in zip(code, code[1:]):
+            assert bin(first ^ second).count("1") == 1
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_codewords_are_a_permutation(self, bits):
+        code = reflected_gray_code(bits)
+        assert sorted(code) == list(range(2 ** bits))
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            reflected_gray_code(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(min_value=1, max_value=6),
+           level=st.integers(min_value=0, max_value=63))
+    def test_level_bits_roundtrip(self, bits, level):
+        level = level % (2 ** bits)
+        assert gray_bits_to_level(gray_level_to_bits(level, bits)) == level
+
+    def test_level_to_bits_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gray_level_to_bits(8, 3)
+
+    def test_bits_to_level_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            gray_bits_to_level((0, 2, 1))
+
+
+class TestCellTechnology:
+    def test_standard_technologies(self):
+        assert SLC.num_levels == 2
+        assert MLC.num_levels == 4
+        assert TLC.num_levels == 8
+        assert QLC.num_levels == 16
+
+    def test_level_means_are_increasing(self):
+        for technology in (SLC, MLC, TLC, QLC):
+            means = technology.level_means()
+            assert np.all(np.diff(means) > 0)
+
+    def test_level_means_span_the_window(self):
+        means = QLC.level_means()
+        assert means[0] == pytest.approx(QLC.erased_mean)
+        assert means[-1] == pytest.approx(QLC.erased_mean + QLC.voltage_window)
+
+    def test_higher_density_means_tighter_spacing(self):
+        slc_gap = np.diff(SLC.level_means()).min()
+        qlc_gap = np.diff(QLC.level_means()).min()
+        assert qlc_gap < slc_gap
+
+    def test_thresholds_between_means(self):
+        thresholds = TLC.read_thresholds()
+        means = TLC.level_means()
+        assert thresholds.shape == (7,)
+        assert np.all(thresholds > means[:-1])
+        assert np.all(thresholds < means[1:])
+
+    def test_gray_map_has_one_entry_per_level(self):
+        gray_map = QLC.gray_map()
+        assert len(gray_map) == 16
+        assert all(len(bits) == 4 for bits in gray_map.values())
+
+    def test_gray_map_adjacent_levels_differ_in_one_bit(self):
+        gray_map = TLC.gray_map()
+        for level in range(7):
+            differences = sum(a != b for a, b in zip(gray_map[level],
+                                                     gray_map[level + 1]))
+            assert differences == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CellTechnology("bad", 0)
+        with pytest.raises(ValueError):
+            CellTechnology("bad", 2, voltage_window=-1.0)
+        with pytest.raises(ValueError):
+            CellTechnology("bad", 2, sigma=0.0)
+        with pytest.raises(ValueError):
+            CellTechnology("bad", 2, reference_pe_cycles=0.0)
+
+
+class TestMultiLevelCellChannel:
+    def test_read_shape_matches_input(self):
+        channel = MultiLevelCellChannel(TLC, rng=np.random.default_rng(0))
+        levels = np.random.default_rng(1).integers(0, 8, size=(16, 16))
+        assert channel.read(levels, 4000).shape == levels.shape
+
+    def test_read_rejects_out_of_range_levels(self):
+        channel = MultiLevelCellChannel(MLC, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            channel.read(np.array([[4]]), 1000)
+
+    def test_sigma_grows_with_wear(self):
+        channel = MultiLevelCellChannel(TLC)
+        assert channel.sigma_at(10000) > channel.sigma_at(0)
+
+    def test_sigma_rejects_negative_cycles(self):
+        channel = MultiLevelCellChannel(TLC)
+        with pytest.raises(ValueError):
+            channel.sigma_at(-1)
+
+    def test_hard_read_recovers_clean_levels(self):
+        channel = MultiLevelCellChannel(TLC)
+        levels = np.arange(8)
+        voltages = TLC.level_means()[levels]
+        np.testing.assert_array_equal(channel.hard_read(voltages), levels)
+
+    def test_error_rate_increases_with_bit_density(self):
+        """The classic SLC < MLC < TLC < QLC reliability ordering."""
+        rates = []
+        for technology in (SLC, MLC, TLC, QLC):
+            channel = MultiLevelCellChannel(technology,
+                                            rng=np.random.default_rng(42))
+            rates.append(channel.level_error_rate(8000, num_cells=40000))
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
+
+    def test_error_rate_increases_with_wear(self):
+        channel = MultiLevelCellChannel(QLC, rng=np.random.default_rng(5))
+        young = channel.level_error_rate(0, num_cells=40000,
+                                         rng=np.random.default_rng(6))
+        old = channel.level_error_rate(10000, num_cells=40000,
+                                       rng=np.random.default_rng(6))
+        assert old > young
+
+    def test_error_rate_rejects_empty_sample(self):
+        channel = MultiLevelCellChannel(TLC)
+        with pytest.raises(ValueError):
+            channel.level_error_rate(1000, num_cells=0)
+
+    def test_analytic_rate_matches_monte_carlo(self):
+        channel = MultiLevelCellChannel(QLC, rng=np.random.default_rng(9))
+        analytic = channel.analytic_level_error_rate(10000)
+        empirical = channel.level_error_rate(10000, num_cells=200000)
+        assert empirical == pytest.approx(analytic, rel=0.15)
+
+    def test_analytic_rate_ordering_across_technologies(self):
+        rates = [MultiLevelCellChannel(t).analytic_level_error_rate(10000)
+                 for t in (SLC, MLC, TLC, QLC)]
+        assert rates == sorted(rates)

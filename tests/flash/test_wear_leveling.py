@@ -1,0 +1,114 @@
+"""Tests for the chip-level wear-levelling simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import BlockGeometry, FlashChannel
+from repro.flash.wear_leveling import (
+    ChipWearState,
+    POLICIES,
+    simulate_wear_leveling,
+)
+
+
+class TestSimulateWearLeveling:
+    def test_total_erases_equals_number_of_writes(self):
+        state = simulate_wear_leveling(16, 1000, policy="round_robin")
+        assert state.total_erases == 1000
+        assert state.num_blocks == 16
+
+    def test_round_robin_is_perfectly_balanced(self):
+        state = simulate_wear_leveling(10, 1000, policy="round_robin")
+        assert state.wear_imbalance == pytest.approx(1.0)
+        assert state.max_erase_count == 100
+
+    def test_greedy_min_wear_is_balanced_within_one(self):
+        state = simulate_wear_leveling(7, 997, policy="greedy_min_wear")
+        assert state.erase_counts.max() - state.erase_counts.min() <= 1
+
+    def test_greedy_levels_out_pre_existing_wear(self):
+        initial = np.array([500, 0, 0, 0], dtype=np.int64)
+        state = simulate_wear_leveling(4, 300, policy="greedy_min_wear",
+                                       initial_erase_counts=initial)
+        # The worn block receives no further erases until the others catch up.
+        assert state.erase_counts[0] == 500
+        assert state.erase_counts[1:].max() <= 500
+
+    def test_hot_block_concentrates_wear(self):
+        rng = np.random.default_rng(0)
+        state = simulate_wear_leveling(20, 2000, policy="hot_block",
+                                       hot_fraction=0.1, rng=rng)
+        assert state.wear_imbalance > 5.0
+        assert state.max_erase_count > 2000 / 20
+
+    def test_hot_block_worse_than_levelled(self):
+        rng = np.random.default_rng(1)
+        hot = simulate_wear_leveling(20, 5000, policy="hot_block",
+                                     hot_fraction=0.1, rng=rng)
+        levelled = simulate_wear_leveling(20, 5000, policy="greedy_min_wear")
+        assert hot.max_erase_count > levelled.max_erase_count
+
+    def test_zero_writes_leaves_a_fresh_chip(self):
+        state = simulate_wear_leveling(8, 0)
+        assert state.total_erases == 0
+        assert state.wear_imbalance == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(0, 10)
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(4, -1)
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(4, 10, policy="bogus")
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(4, 10, policy="hot_block", hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(4, 10,
+                                   initial_erase_counts=np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            simulate_wear_leveling(2, 10,
+                                   initial_erase_counts=np.array([-1, 0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_blocks=st.integers(min_value=1, max_value=32),
+           num_writes=st.integers(min_value=0, max_value=500),
+           policy=st.sampled_from(POLICIES))
+    def test_erase_counts_always_account_for_every_write(self, num_blocks,
+                                                         num_writes, policy):
+        state = simulate_wear_leveling(num_blocks, num_writes, policy=policy,
+                                       rng=np.random.default_rng(0))
+        assert state.total_erases == num_writes
+        assert np.all(state.erase_counts >= 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_writes=st.integers(min_value=0, max_value=400))
+    def test_greedy_never_worse_than_hot_block(self, num_writes):
+        greedy = simulate_wear_leveling(8, num_writes, policy="greedy_min_wear")
+        hot = simulate_wear_leveling(8, num_writes, policy="hot_block",
+                                     hot_fraction=0.25,
+                                     rng=np.random.default_rng(0))
+        assert greedy.max_erase_count <= hot.max_erase_count
+
+
+class TestChipWearStateWithChannel:
+    def test_worst_block_error_rate_tracks_imbalance(self):
+        """The hot-block chip's worst block reads back with more errors."""
+        channel = FlashChannel(geometry=BlockGeometry(32, 32),
+                               rng=np.random.default_rng(2))
+        levelled = simulate_wear_leveling(16, 80000, policy="greedy_min_wear")
+        hot = simulate_wear_leveling(16, 80000, policy="hot_block",
+                                     hot_fraction=0.1,
+                                     rng=np.random.default_rng(3))
+        levelled_rate = levelled.worst_block_error_rate(channel, num_blocks=3)
+        hot_rate = hot.worst_block_error_rate(channel, num_blocks=3)
+        assert hot.max_erase_count > levelled.max_erase_count
+        assert hot_rate > levelled_rate
+
+    def test_wear_imbalance_of_fresh_chip_is_one(self):
+        state = ChipWearState(erase_counts=np.zeros(4, dtype=np.int64),
+                              policy="round_robin")
+        assert state.wear_imbalance == 1.0

@@ -1,0 +1,189 @@
+"""Tests for optimizers, loss functions and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    SGD,
+    Sequential,
+    Tanh,
+    Tensor,
+    bce_loss,
+    bce_with_logits_loss,
+    gaussian_kl_loss,
+    hinge_loss,
+    l1_loss,
+    load_state_dict,
+    mse_loss,
+    save_state_dict,
+)
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        parameter = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        (parameter * parameter).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [1.0 - 0.2, 2.0 - 0.4])
+
+    def test_momentum_accumulates(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            optimizer.zero_grad()
+            (parameter * 1.0).sum().backward()
+            optimizer.step()
+        # First step: -0.1; second step velocity = 0.9 * 1 + 1 = 1.9 -> -0.19.
+        assert parameter.data[0] == pytest.approx(1.0 - 0.1 - 0.19)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()
+        assert parameter.data[0] == 1.0
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_non_positive_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.01)
+        (parameter * 3.0).sum().backward()
+        optimizer.step()
+        # After bias correction the first Adam step is ~lr * sign(grad).
+        assert parameter.data[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        parameter = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            (parameter * parameter).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [0.0, 0.0], atol=1e-2)
+
+    def test_trains_network_to_fit_linear_map(self):
+        rng = np.random.default_rng(7)
+        model = Sequential(Linear(3, 16, rng=rng), Tanh(), Linear(16, 1, rng=rng))
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        inputs = rng.standard_normal((64, 3))
+        targets = (inputs @ np.array([[1.0], [-2.0], [0.5]])) * 0.3
+        losses = []
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(inputs)), Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_rejects_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], betas=(1.0, 0.999))
+
+
+class TestLosses:
+    def test_mse_value(self):
+        prediction = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        target = Tensor(np.array([0.0, 2.0, 5.0]))
+        assert mse_loss(prediction, target).item() == pytest.approx(5.0 / 3.0)
+
+    def test_mse_gradient(self):
+        prediction = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        mse_loss(prediction, Tensor(np.array([0.0, 0.0]))).backward()
+        np.testing.assert_allclose(prediction.grad, [1.0, 2.0])
+
+    def test_l1_value(self):
+        prediction = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        target = Tensor(np.array([0.0, 0.0]))
+        assert l1_loss(prediction, target).item() == pytest.approx(1.5)
+
+    def test_bce_perfect_predictions_near_zero(self):
+        probabilities = Tensor(np.array([0.999, 0.999]), requires_grad=True)
+        assert bce_loss(probabilities, 1.0).item() < 0.01
+
+    def test_bce_wrong_predictions_large(self):
+        probabilities = Tensor(np.array([0.999]), requires_grad=True)
+        assert bce_loss(probabilities, 0.0).item() > 3.0
+
+    def test_bce_soft_target(self):
+        probabilities = Tensor(np.array([0.5]), requires_grad=True)
+        value = bce_loss(probabilities, 0.5).item()
+        assert value == pytest.approx(-np.log(0.5), rel=1e-6)
+
+    def test_bce_with_logits_matches_probability_form(self):
+        logits = np.array([-2.0, 0.5, 3.0])
+        for target in (0.0, 1.0):
+            stable = bce_with_logits_loss(Tensor(logits, requires_grad=True),
+                                          target).item()
+            probabilities = Tensor(1 / (1 + np.exp(-logits)), requires_grad=True)
+            reference = bce_loss(probabilities, target).item()
+            assert stable == pytest.approx(reference, rel=1e-5)
+
+    def test_bce_with_logits_extreme_logits_finite(self):
+        logits = Tensor(np.array([-80.0, 80.0]), requires_grad=True)
+        assert np.isfinite(bce_with_logits_loss(logits, 1.0).item())
+
+    def test_gaussian_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((4, 6)), requires_grad=True)
+        logvar = Tensor(np.zeros((4, 6)), requires_grad=True)
+        assert gaussian_kl_loss(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_gaussian_kl_positive_otherwise(self):
+        mu = Tensor(np.ones((2, 6)), requires_grad=True)
+        logvar = Tensor(np.full((2, 6), -1.0), requires_grad=True)
+        assert gaussian_kl_loss(mu, logvar).item() > 0.0
+
+    def test_gaussian_kl_closed_form(self):
+        mu_value = np.array([[0.5, -0.5]])
+        logvar_value = np.array([[0.2, -0.3]])
+        expected = -0.5 * np.sum(1 + logvar_value - mu_value ** 2
+                                 - np.exp(logvar_value))
+        result = gaussian_kl_loss(Tensor(mu_value, requires_grad=True),
+                                  Tensor(logvar_value, requires_grad=True))
+        assert result.item() == pytest.approx(expected)
+
+    def test_hinge_loss_branches(self):
+        logits = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+        assert hinge_loss(logits, real=True).item() == pytest.approx(1.0)
+        assert hinge_loss(logits, real=False).item() == pytest.approx(1.0)
+        assert hinge_loss(logits, real=True, for_generator=True).item() == \
+            pytest.approx(0.0)
+
+
+class TestSerialization:
+    def test_roundtrip_through_npz(self, tmp_path, rng):
+        model = Sequential(Linear(4, 4, rng=rng), Tanh(), Linear(4, 2, rng=rng))
+        path = tmp_path / "weights.npz"
+        save_state_dict(model.state_dict(), path)
+        restored = load_state_dict(path)
+        fresh = Sequential(Linear(4, 4), Tanh(), Linear(4, 2))
+        fresh.load_state_dict(restored)
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(model(x).data, fresh(x).data)
+
+    def test_keys_with_dots_survive(self, tmp_path):
+        state = {"a.b.c": np.array([1.0, 2.0])}
+        path = tmp_path / "state.npz"
+        save_state_dict(state, path)
+        assert "a.b.c" in load_state_dict(path)

@@ -1,0 +1,200 @@
+"""Tests for learning-rate schedulers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LinearWarmupLR,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+    clip_grad_value,
+    global_grad_norm,
+)
+
+
+def _parameters(*shapes):
+    return [Tensor(np.ones(shape), requires_grad=True) for shape in shapes]
+
+
+def _optimizer(lr=0.1):
+    return Adam(_parameters((3, 3)), lr=lr)
+
+
+class TestStepLR:
+    def test_rate_constant_within_a_step(self):
+        scheduler = StepLR(_optimizer(lr=1.0), step_size=3, gamma=0.1)
+        rates = [scheduler.step() for _ in range(3)]
+        assert rates[0] == rates[1] == 1.0
+        assert rates[2] == pytest.approx(0.1)
+
+    def test_rate_decays_by_gamma_per_step(self):
+        scheduler = StepLR(_optimizer(lr=2.0), step_size=1, gamma=0.5)
+        assert scheduler.step() == pytest.approx(1.0)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.current_lr == pytest.approx(0.5)
+
+    def test_updates_the_optimizer_in_place(self):
+        optimizer = _optimizer(lr=1.0)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=1, gamma=0.0)
+        with pytest.raises(ValueError):
+            StepLR(object(), step_size=1)  # type: ignore[arg-type]
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        scheduler = ExponentialLR(_optimizer(lr=1.0), gamma=0.5)
+        rates = [scheduler.step() for _ in range(3)]
+        np.testing.assert_allclose(rates, [0.5, 0.25, 0.125])
+
+    def test_gamma_one_keeps_the_rate(self):
+        scheduler = ExponentialLR(_optimizer(lr=0.3), gamma=1.0)
+        assert scheduler.step() == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialLR(_optimizer(), gamma=1.5)
+
+
+class TestCosineAnnealingLR:
+    def test_reaches_min_lr_at_the_end(self):
+        scheduler = CosineAnnealingLR(_optimizer(lr=1.0), total_epochs=10,
+                                      min_lr=0.05)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[-1] == pytest.approx(0.05)
+        assert all(np.diff(rates) < 0)
+
+    def test_rate_stays_at_min_after_the_horizon(self):
+        scheduler = CosineAnnealingLR(_optimizer(lr=1.0), total_epochs=4)
+        for _ in range(6):
+            rate = scheduler.step()
+        assert rate == pytest.approx(0.0)
+
+    def test_halfway_point_is_midway(self):
+        scheduler = CosineAnnealingLR(_optimizer(lr=2.0), total_epochs=2)
+        assert scheduler.step() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(lr=0.1), total_epochs=5, min_lr=1.0)
+
+
+class TestLinearWarmupLR:
+    def test_starts_below_the_base_rate(self):
+        optimizer = _optimizer(lr=1.0)
+        LinearWarmupLR(optimizer, warmup_epochs=5, start_factor=0.2)
+        assert optimizer.lr == pytest.approx(0.2)
+
+    def test_reaches_the_base_rate_after_warmup(self):
+        scheduler = LinearWarmupLR(_optimizer(lr=1.0), warmup_epochs=4,
+                                   start_factor=0.2)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[3] == pytest.approx(1.0)
+        assert rates[5] == pytest.approx(1.0)
+        assert all(np.diff(rates) >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupLR(_optimizer(), warmup_epochs=0)
+        with pytest.raises(ValueError):
+            LinearWarmupLR(_optimizer(), warmup_epochs=3, start_factor=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(warmup=st.integers(min_value=1, max_value=20),
+           factor=st.floats(min_value=0.01, max_value=1.0))
+    def test_rates_never_exceed_the_base_rate(self, warmup, factor):
+        scheduler = LinearWarmupLR(_optimizer(lr=1.0), warmup_epochs=warmup,
+                                   start_factor=factor)
+        for _ in range(warmup + 3):
+            assert scheduler.step() <= 1.0 + 1e-12
+
+
+class TestSchedulerWithSGD:
+    def test_scheduler_drives_actual_updates(self):
+        """A decayed rate produces a smaller parameter update."""
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([parameter], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+
+        parameter.grad = np.ones(4)
+        optimizer.step()
+        first_move = -parameter.data.copy()
+
+        scheduler.step()
+        parameter.grad = np.ones(4)
+        before = parameter.data.copy()
+        optimizer.step()
+        second_move = before - parameter.data
+        assert np.all(second_move < first_move)
+
+
+class TestGradientClipping:
+    def test_global_norm_of_known_gradients(self):
+        parameters = _parameters((2,), (2,))
+        parameters[0].grad = np.array([3.0, 0.0])
+        parameters[1].grad = np.array([0.0, 4.0])
+        assert global_grad_norm(parameters) == pytest.approx(5.0)
+
+    def test_norm_ignores_missing_gradients(self):
+        parameters = _parameters((2,), (2,))
+        parameters[0].grad = np.array([3.0, 4.0])
+        assert global_grad_norm(parameters) == pytest.approx(5.0)
+
+    def test_norm_zero_when_no_gradients(self):
+        assert global_grad_norm(_parameters((3,))) == 0.0
+
+    def test_clip_norm_rescales_when_above_threshold(self):
+        parameters = _parameters((2,))
+        parameters[0].grad = np.array([6.0, 8.0])
+        returned = clip_grad_norm(parameters, max_norm=5.0)
+        assert returned == pytest.approx(10.0)
+        assert global_grad_norm(parameters) == pytest.approx(5.0)
+        np.testing.assert_allclose(parameters[0].grad, [3.0, 4.0])
+
+    def test_clip_norm_leaves_small_gradients_untouched(self):
+        parameters = _parameters((2,))
+        parameters[0].grad = np.array([0.3, 0.4])
+        clip_grad_norm(parameters, max_norm=5.0)
+        np.testing.assert_allclose(parameters[0].grad, [0.3, 0.4])
+
+    def test_clip_value_clamps_entries(self):
+        parameters = _parameters((3,))
+        parameters[0].grad = np.array([-10.0, 0.5, 10.0])
+        clip_grad_value(parameters, max_value=1.0)
+        np.testing.assert_allclose(parameters[0].grad, [-1.0, 0.5, 1.0])
+
+    def test_validation(self):
+        parameters = _parameters((2,))
+        with pytest.raises(ValueError):
+            clip_grad_norm(parameters, max_norm=0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value(parameters, max_value=-1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10000),
+           max_norm=st.floats(min_value=0.1, max_value=10.0))
+    def test_clipped_norm_never_exceeds_the_bound(self, seed, max_norm):
+        rng = np.random.default_rng(seed)
+        parameters = _parameters((4,), (2, 3))
+        for parameter in parameters:
+            parameter.grad = rng.normal(0, 5, size=parameter.shape)
+        clip_grad_norm(parameters, max_norm=max_norm)
+        assert global_grad_norm(parameters) <= max_norm * (1 + 1e-9)
