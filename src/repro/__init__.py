@@ -19,6 +19,10 @@ The package is organised as a stack of subsystems:
     The paper's contribution: the conditional VAE-GAN and the comparator
     architectures (cGAN, cVAE, BicycleGAN), with spatio-temporal P/E
     conditioning.
+``repro.channel``
+    The unified channel-model protocol: simulator, generative and baseline
+    backends behind one ``read_voltages`` API, selected by name from a
+    registry, with batched sampling and per-condition caching.
 ``repro.eval``
     Evaluation metrics: conditional PDFs, divergences, level error counts and
     ICI pattern analysis.

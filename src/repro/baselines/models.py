@@ -42,8 +42,10 @@ class StatisticalChannelModel:
 
     #: Distribution family name understood by :func:`fit_level_distribution`.
     family: str = ""
-    #: Human-readable name used in reports (matches the paper's Fig. 5 labels).
+    #: Human-readable name used in reports.
     display_name: str = ""
+    #: Compact label used in the paper's Fig. 5 bars ('G', 'NL', "S't").
+    short_label: str = ""
 
     def __init__(self, params: FlashParameters | None = None, bins: int = 200):
         self.params = params if params is not None else FlashParameters()
@@ -156,6 +158,7 @@ class GaussianChannelModel(StatisticalChannelModel):
 
     family = "gaussian"
     display_name = "Gaussian"
+    short_label = "G"
 
     def _pdf_from_parameters(self, grid, parameters):
         return gaussian_pdf(grid, parameters["mu"], parameters["sigma"])
@@ -170,6 +173,7 @@ class NormalLaplaceChannelModel(StatisticalChannelModel):
 
     family = "normal_laplace"
     display_name = "Normal-Laplace"
+    short_label = "NL"
 
     def _pdf_from_parameters(self, grid, parameters):
         return normal_laplace_pdf(grid, parameters["mu"], parameters["sigma"],
@@ -186,6 +190,7 @@ class StudentsTChannelModel(StatisticalChannelModel):
 
     family = "students_t"
     display_name = "Student's t"
+    short_label = "S't"
 
     def _pdf_from_parameters(self, grid, parameters):
         return students_t_pdf(grid, parameters["mu"], parameters["scale"],

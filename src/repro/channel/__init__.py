@@ -1,0 +1,38 @@
+"""Unified channel-model protocol and backend registry.
+
+The paper's central claim is that a learned generative channel model can
+stand in for the physical flash channel when designing time-aware constrained
+codes and ECC.  This package makes that substitution a one-line configuration
+change: every voltage source — simulator, trained generative network, fitted
+statistical baseline — sits behind the same :class:`ChannelModel` protocol
+and is constructed by name through :func:`build_channel`.
+
+See README.md for the layered architecture diagram and usage examples.
+"""
+
+from repro.channel.cache import ConditionCache
+from repro.channel.protocol import ChannelCapabilities, ChannelModel
+from repro.channel.adapters import (
+    BaselineChannel,
+    GenerativeChannel,
+    SimulatorChannel,
+)
+from repro.channel.registry import (
+    CHANNEL_REGISTRY,
+    build_channel,
+    register_channel,
+    resolve_channel,
+)
+
+__all__ = [
+    "ConditionCache",
+    "ChannelCapabilities",
+    "ChannelModel",
+    "SimulatorChannel",
+    "GenerativeChannel",
+    "BaselineChannel",
+    "CHANNEL_REGISTRY",
+    "build_channel",
+    "register_channel",
+    "resolve_channel",
+]

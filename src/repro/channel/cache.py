@@ -1,0 +1,71 @@
+"""A small LRU cache for per-condition channel artifacts.
+
+Monte-Carlo consumers of a channel model — the time-aware code selector, the
+ECC evaluation loop, the LLR density estimation — repeatedly query the same
+``(model, P/E cycle)`` operating condition.  The artifacts they derive
+(density tables, error-rate estimates, wear parameters) are expensive to
+recompute and small to store, so every :class:`repro.channel.ChannelModel`
+carries a :class:`ConditionCache` keyed by the condition tuple.
+
+The cache is a plain ordered-dict LRU: no external dependency, deterministic
+eviction, and hit/miss counters so benchmarks can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["ConditionCache"]
+
+
+class ConditionCache:
+    """Least-recently-used cache keyed by hashable condition tuples.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached entries; the least recently used entry is
+        evicted when the cache is full.  ``0`` disables caching entirely
+        (every :meth:`get_or_compute` call recomputes).
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = compute()
+        if self.maxsize > 0:
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (useful in benchmark reports)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries)}

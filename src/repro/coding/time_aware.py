@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.channel import ChannelModel, ConditionCache, resolve_channel
 from repro.coding.capacity import rate_penalty
 from repro.coding.constrained import ICIConstrainedCode
 from repro.flash.cell import ERASED_LEVEL
@@ -59,7 +60,7 @@ class ConstraintOperatingPoint:
         return self.high_level is None
 
 
-def _measure_error_rate(channel, pe_cycles: float,
+def _measure_error_rate(channel: ChannelModel, pe_cycles: float,
                         code: ICIConstrainedCode | None, num_blocks: int,
                         params: FlashParameters | None,
                         metric: str = "level") -> float:
@@ -71,7 +72,7 @@ def _measure_error_rate(channel, pe_cycles: float,
         levels = channel.program_random_block()
         if code is not None:
             levels, _ = code.encode(levels)
-        voltages = channel.read(levels, pe_cycles)
+        voltages = channel.read_voltages(levels, pe_cycles)
         if metric == "level":
             rates.append(level_error_rate(levels, voltages, params=params))
         else:
@@ -88,13 +89,17 @@ def constraint_tradeoff_curve(channel, pe_cycles: float,
                               ) -> list[ConstraintOperatingPoint]:
     """Error rate versus rate penalty of each candidate constraint.
 
-    The first entry of the returned list is always the unconstrained
-    baseline (no forbidden patterns, zero rate penalty).  ``metric`` selects
-    what "error rate" means (see :data:`ERROR_METRICS`); use ``"erased"`` to
-    study the victim population the constraint actually protects.
+    ``channel`` is any registered backend name or channel model (see
+    :func:`repro.channel.resolve_channel`) — the simulator, a trained
+    generative network and the fitted baselines all qualify.  The first
+    entry of the returned list is always the unconstrained baseline (no
+    forbidden patterns, zero rate penalty).  ``metric`` selects what "error
+    rate" means (see :data:`ERROR_METRICS`); use ``"erased"`` to study the
+    victim population the constraint actually protects.
     """
     if num_blocks < 1:
         raise ValueError("num_blocks must be positive")
+    channel = resolve_channel(channel)
     points = [ConstraintOperatingPoint(
         pe_cycles=float(pe_cycles), high_level=None,
         error_rate=_measure_error_rate(channel, pe_cycles, None, num_blocks,
@@ -117,8 +122,9 @@ class TimeAwareCodeSelector:
     Parameters
     ----------
     channel:
-        Channel model exposing ``program_random_block()`` and
-        ``read(levels, pe_cycles)``.
+        Any channel backend: a registered name (``"simulator"``,
+        ``"cvae_gan"``, ...), a :class:`repro.channel.ChannelModel`, or a
+        legacy concrete channel object (wrapped automatically).
     error_rate_target:
         Maximum acceptable level error rate.
     high_levels:
@@ -138,8 +144,10 @@ class TimeAwareCodeSelector:
     num_blocks: int = 6
     params: FlashParameters | None = None
     metric: str = "level"
-    _cache: dict[tuple[float, int | None], float] = field(default_factory=dict,
-                                                          repr=False)
+    # Generous capacity: a schedule sweep touches every (P/E, constraint)
+    # pair and must never re-measure a point it already compared against.
+    _cache: ConditionCache = field(
+        default_factory=lambda: ConditionCache(maxsize=4096), repr=False)
 
     def __post_init__(self):
         if self.error_rate_target <= 0:
@@ -150,16 +158,16 @@ class TimeAwareCodeSelector:
             raise ValueError("num_blocks must be positive")
         if self.metric not in ERROR_METRICS:
             raise ValueError(f"metric must be one of {ERROR_METRICS}")
+        self.channel = resolve_channel(self.channel)
 
     def _error_rate(self, pe_cycles: float, high_level: int | None) -> float:
-        key = (float(pe_cycles), high_level)
-        if key not in self._cache:
-            code = None if high_level is None \
-                else ICIConstrainedCode(high_level=high_level)
-            self._cache[key] = _measure_error_rate(
-                self.channel, pe_cycles, code, self.num_blocks, self.params,
-                self.metric)
-        return self._cache[key]
+        code = None if high_level is None \
+            else ICIConstrainedCode(high_level=high_level)
+        return self._cache.get_or_compute(
+            (float(pe_cycles), high_level),
+            lambda: _measure_error_rate(self.channel, pe_cycles, code,
+                                        self.num_blocks, self.params,
+                                        self.metric))
 
     def select(self, pe_cycles: float) -> ConstraintOperatingPoint:
         """Cheapest operating point meeting the target at ``pe_cycles``.

@@ -5,6 +5,10 @@ or trained generative network) supplies realistic read voltages, and the ECC
 evaluation answers the questions a controller architect asks of it — what
 correction strength does a BCH code need at a given P/E count, and how much
 does soft-decision LDPC decoding gain from the model's soft voltages?
+
+Every helper takes the channel through the unified protocol
+(:mod:`repro.channel`): pass a registered backend name, a
+:class:`~repro.channel.ChannelModel`, or a legacy concrete channel object.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.channel import ChannelModel, resolve_channel
 from repro.ecc.bch import BCHCode
 from repro.ecc.ldpc import LDPCCode
 from repro.ecc.llr import LevelDensityTable, page_llrs
@@ -49,7 +54,7 @@ def _random_page_payload(code_k: int, num_codewords: int,
     return rng.integers(0, 2, size=(num_codewords, code_k))
 
 
-def _transmit_lower_page(channel, messages: np.ndarray, encode,
+def _transmit_lower_page(channel: ChannelModel, messages: np.ndarray, encode,
                          pe_cycles: float, rng: np.random.Generator,
                          params: FlashParameters | None
                          ) -> tuple[np.ndarray, np.ndarray]:
@@ -68,7 +73,7 @@ def _transmit_lower_page(channel, messages: np.ndarray, encode,
     levels = program_pages(codewords, middle, upper)
     # Stack the codeword rows into a single 2-D array so wordline/bitline
     # neighbours exist; each row is one codeword.
-    voltages = channel.read(levels, pe_cycles)
+    voltages = channel.read_voltages(levels, pe_cycles, rng=rng)
     return codewords, voltages
 
 
@@ -79,12 +84,14 @@ def evaluate_bch_over_channel(code: BCHCode, channel, pe_cycles: float,
                               ) -> CodewordChannelResult:
     """Hard-decision BCH performance over a channel model.
 
-    ``channel`` must expose ``read(program_levels, pe_cycles)`` returning soft
-    voltages — both the simulator and the generative wrapper qualify.
+    ``channel`` is any registered backend name or channel model — the
+    simulator, a trained generative network and the fitted baselines all
+    qualify (see :func:`repro.channel.resolve_channel`).
     """
     if num_codewords < 1:
         raise ValueError("num_codewords must be positive")
-    generator = rng if rng is not None else np.random.default_rng()
+    channel = resolve_channel(channel)
+    generator = rng if rng is not None else channel.rng
     messages = _random_page_payload(code.k, num_codewords, generator)
     codewords, voltages = _transmit_lower_page(
         channel, messages, code.encode, pe_cycles, generator, params)
@@ -113,7 +120,7 @@ def evaluate_bch_over_channel(code: BCHCode, channel, pe_cycles: float,
 
 
 def evaluate_ldpc_over_channel(code: LDPCCode, channel, pe_cycles: float,
-                               density_table: LevelDensityTable,
+                               density_table: LevelDensityTable | None = None,
                                num_codewords: int = 20,
                                max_iterations: int = 30,
                                rng: np.random.Generator | None = None,
@@ -123,11 +130,26 @@ def evaluate_ldpc_over_channel(code: LDPCCode, channel, pe_cycles: float,
 
     The LLRs are computed from ``density_table`` — typically estimated from
     data regenerated by the generative channel model — which is exactly the
-    soft-information workflow the paper's modelling approach enables.
+    soft-information workflow the paper's modelling approach enables.  When
+    omitted, the table is requested from the channel itself
+    (:meth:`repro.channel.ChannelModel.density_table`, served from the
+    backend's per-condition LRU cache on repeated queries).
     """
     if num_codewords < 1:
         raise ValueError("num_codewords must be positive")
-    generator = rng if rng is not None else np.random.default_rng()
+    channel = resolve_channel(channel)
+    generator = rng if rng is not None else channel.rng
+    if density_table is None:
+        if params is None or params == channel.params:
+            density_table = channel.density_table(pe_cycles)
+        else:
+            # Caller-specified parameters disagree with the backend's: build
+            # the table under the caller's voltage window so the densities
+            # stay consistent with the read thresholds used below.
+            from repro.ecc.llr import densities_from_channel
+
+            density_table = densities_from_channel(channel, pe_cycles,
+                                                   params=params)
     messages = _random_page_payload(code.k, num_codewords, generator)
     codewords, voltages = _transmit_lower_page(
         channel, messages, code.encode, pe_cycles, generator, params)

@@ -92,6 +92,27 @@ class LDPCCode:
                                   for row in self.parity_check]
         self._variable_neighbours = [np.nonzero(self.parity_check[:, column])[0]
                                      for column in range(self.n)]
+        self._build_check_index()
+
+    def _build_check_index(self) -> None:
+        """Pad the check-node adjacency into rectangular index/mask arrays.
+
+        The min-sum check-node update then runs as a handful of vectorized
+        NumPy reductions over a ``(num_checks, max_degree)`` edge matrix
+        instead of a Python loop per check.  Padded slots point at a
+        sentinel column ``n`` (always zero, excluded from totals).
+        """
+        num_checks = self.parity_check.shape[0]
+        degrees = np.array([len(nb) for nb in self._check_neighbours],
+                           dtype=np.int64)
+        max_degree = int(degrees.max()) if num_checks else 0
+        index = np.full((num_checks, max_degree), self.n, dtype=np.int64)
+        for check, neighbours in enumerate(self._check_neighbours):
+            index[check, :len(neighbours)] = neighbours
+        self._check_degrees = degrees
+        self._check_index = index
+        self._check_edge_mask = (np.arange(max_degree)[None, :]
+                                 < degrees[:, None])
 
     @classmethod
     def regular(cls, n: int, column_weight: int = 3, row_weight: int = 6,
@@ -198,8 +219,14 @@ class LDPCCode:
         if not 0 < scale <= 1:
             raise ValueError("scale must lie in (0, 1]")
         num_checks = self.parity_check.shape[0]
-        # Messages live on the edges of the Tanner graph, stored densely.
-        check_to_variable = np.zeros((num_checks, self.n))
+        # Messages live on the edges of the Tanner graph, stored densely with
+        # one sentinel column (index n) absorbing the padded adjacency slots.
+        check_to_variable = np.zeros((num_checks, self.n + 1))
+        index = self._check_index
+        mask = self._check_edge_mask
+        degrees = self._check_degrees[:, None]
+        rows = np.arange(num_checks)[:, None]
+        positions = np.arange(index.shape[1])[None, :]
 
         hard = (llrs < 0).astype(np.int64)
         if self.is_codeword(hard):
@@ -208,21 +235,27 @@ class LDPCCode:
                                       iterations=0, success=True)
 
         for iteration in range(1, max_iterations + 1):
-            totals = llrs + check_to_variable.sum(axis=0)
-            for check, neighbours in enumerate(self._check_neighbours):
-                incoming = totals[neighbours] - check_to_variable[check, neighbours]
-                signs = np.sign(incoming)
-                signs[signs == 0] = 1.0
-                magnitudes = np.abs(incoming)
-                order = np.argsort(magnitudes)
-                smallest, second = magnitudes[order[0]], \
-                    magnitudes[order[1]] if neighbours.size > 1 else magnitudes[order[0]]
-                product_sign = np.prod(signs)
-                outgoing = np.where(np.arange(neighbours.size) == order[0],
-                                    second, smallest)
-                check_to_variable[check, neighbours] = \
-                    scale * product_sign * signs * outgoing
-            totals = llrs + check_to_variable.sum(axis=0)
+            totals = llrs + check_to_variable[:, :self.n].sum(axis=0)
+            # Vectorized check-node update: extrinsic inputs per edge, the
+            # product of their signs and the two smallest magnitudes per
+            # check, then the normalised min-sum outgoing messages.
+            incoming = totals[np.minimum(index, self.n - 1)] \
+                - check_to_variable[rows, index]
+            signs = np.where(incoming < 0, -1.0, 1.0)
+            magnitudes = np.where(mask, np.abs(incoming), np.inf)
+            smallest_two = np.partition(magnitudes, 1, axis=1) \
+                if magnitudes.shape[1] > 1 else magnitudes
+            smallest = smallest_two[:, 0]
+            second = np.where(degrees[:, 0] > 1,
+                              smallest_two[:, min(1, magnitudes.shape[1] - 1)],
+                              smallest)
+            minimum_position = np.argmin(magnitudes, axis=1)
+            product_sign = np.prod(np.where(mask, signs, 1.0), axis=1)
+            outgoing = np.where(positions == minimum_position[:, None],
+                                second[:, None], smallest[:, None])
+            messages = scale * product_sign[:, None] * signs * outgoing
+            check_to_variable[rows, index] = np.where(mask, messages, 0.0)
+            totals = llrs + check_to_variable[:, :self.n].sum(axis=0)
             hard = (totals < 0).astype(np.int64)
             if self.is_codeword(hard):
                 return LDPCDecodingResult(

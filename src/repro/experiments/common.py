@@ -1,8 +1,8 @@
 """Shared setup for the experiment drivers.
 
 :class:`ExperimentSetup` bundles everything the figure drivers need — the
-simulated channel ("measured" data source), a paired dataset, and a trained
-conditional generative model — at one of two scales:
+simulated channel ("measured" data source), a paired dataset, and trained /
+fitted channel backends behind the unified protocol — at one of two scales:
 
 * ``"quick"`` (default): 16x16 arrays, narrow networks, a few minutes of
   CPU training.  Shapes and orderings are reproduced; absolute numbers are
@@ -11,6 +11,11 @@ conditional generative model — at one of two scales:
   is faithful to the paper but is not tractable on CPU within the benchmark
   harness; it exists so users with patience (or a port of ``repro.nn`` to an
   accelerated backend) can run the full-scale experiment.
+
+All randomness derives from the single ``seed``: every component (channel,
+model initialisation, training, sampling) receives a generator spawned from
+one root :class:`numpy.random.SeedSequence`, so a setup is reproducible end
+to end from that one integer.
 """
 
 from __future__ import annotations
@@ -19,14 +24,15 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core import (
-    GenerativeChannelModel,
-    ModelConfig,
-    Trainer,
-    build_model,
+from repro.channel import (
+    ChannelModel,
+    GenerativeChannel,
+    SimulatorChannel,
+    build_channel,
 )
+from repro.core import ModelConfig, Trainer, build_model
 from repro.data import FlashChannelDataset, crop_blocks, generate_paired_dataset
-from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+from repro.flash import BlockGeometry, FlashParameters
 
 __all__ = ["PAPER_PE_CYCLES", "ExperimentSetup"]
 
@@ -36,7 +42,7 @@ PAPER_PE_CYCLES: tuple[int, ...] = (4000, 7000, 10000)
 
 @dataclass
 class ExperimentSetup:
-    """Channel, dataset and trained model shared by the figure drivers."""
+    """Channel, dataset and trained backends shared by the figure drivers."""
 
     scale: str = "quick"
     pe_cycles: tuple[int, ...] = PAPER_PE_CYCLES
@@ -48,12 +54,25 @@ class ExperimentSetup:
     def __post_init__(self):
         if self.scale not in ("quick", "paper"):
             raise ValueError("scale must be 'quick' or 'paper'")
-        self._rng = np.random.default_rng(self.seed)
-        self.channel = FlashChannel(self.params,
-                                    geometry=BlockGeometry(64, 64),
-                                    rng=np.random.default_rng(self.seed + 1))
+        self.channel = SimulatorChannel(self.params,
+                                        geometry=BlockGeometry(64, 64),
+                                        rng=self.spawn_rng("channel"))
         self._dataset: FlashChannelDataset | None = None
-        self._models: dict[str, GenerativeChannelModel] = {}
+        self._models: dict[str, GenerativeChannel] = {}
+        self._baselines: dict[str, ChannelModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Randomness: one seed, deterministically spawned streams
+    # ------------------------------------------------------------------ #
+    def spawn_rng(self, label: str) -> np.random.Generator:
+        """A generator derived from the setup seed and a stream label.
+
+        Streams are independent of the order in which they are requested, so
+        adding a new consumer never perturbs existing ones.
+        """
+        entropy = int.from_bytes(label.encode(), "big") % (2 ** 31)
+        sequence = np.random.SeedSequence(self.seed, spawn_key=(entropy,))
+        return np.random.default_rng(sequence)
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -90,23 +109,60 @@ class ExperimentSetup:
                 crop_blocks(voltages, self.array_size))
 
     # ------------------------------------------------------------------ #
-    # Models
+    # Channel backends
     # ------------------------------------------------------------------ #
     def train_generative_model(self, architecture: str = "cvae_gan",
                                epochs: int | None = None,
-                               **model_kwargs) -> GenerativeChannelModel:
-        """Train (and cache) a conditional generative channel model."""
-        cache_key = architecture + repr(sorted(model_kwargs.items()))
+                               **model_kwargs) -> GenerativeChannel:
+        """Train (and cache) a generative channel backend.
+
+        Returns the protocol adapter; its batched chunked sampling path is
+        what the figure drivers and benchmarks consume.
+        """
+        cache_key = architecture + repr(epochs) \
+            + repr(sorted(model_kwargs.items()))
         if cache_key in self._models:
             return self._models[cache_key]
         config = self.model_config()
         model = build_model(architecture, config,
-                            rng=np.random.default_rng(self.seed + 2),
+                            rng=self.spawn_rng(f"init:{cache_key}"),
                             **model_kwargs)
         trainer = Trainer(model, self.dataset(), params=self.params,
-                          rng=np.random.default_rng(self.seed + 3))
+                          rng=self.spawn_rng(f"train:{cache_key}"))
         trainer.train(epochs=epochs if epochs is not None else config.epochs)
-        wrapper = GenerativeChannelModel(
-            model, params=self.params, rng=np.random.default_rng(self.seed + 4))
+        wrapper = GenerativeChannel(
+            model, params=self.params,
+            rng=self.spawn_rng(f"sample:{cache_key}"))
         self._models[cache_key] = wrapper
         return wrapper
+
+    def baseline_channel(self, name: str,
+                         fit_iterations: int = 250) -> ChannelModel:
+        """Fit (and cache) a statistical baseline backend by registry name."""
+        if name not in self._baselines:
+            self._baselines[name] = build_channel(
+                name, dataset=self.dataset(), params=self.params,
+                rng=self.spawn_rng(f"baseline:{name}"),
+                fit_iterations=fit_iterations)
+        return self._baselines[name]
+
+    def channel_backend(self, name: str, **kwargs) -> ChannelModel:
+        """Any registered backend, wired to this setup's data and seed.
+
+        ``"simulator"`` returns the measured-data source; generative
+        architecture names train (or reuse) a model on the setup dataset;
+        baseline family names fit on the same dataset.  This is the single
+        entry point that makes every downstream study backend-agnostic.
+        """
+        from repro.baselines.models import BASELINE_MODELS
+        from repro.channel import CHANNEL_REGISTRY
+
+        if name == "simulator":
+            return self.channel
+        if name in {model.family for model in BASELINE_MODELS}:
+            return self.baseline_channel(name, **kwargs)
+        if name in CHANNEL_REGISTRY:
+            architecture = "cvae_gan" if name == "generative" else name
+            return self.train_generative_model(architecture, **kwargs)
+        raise ValueError(f"unknown channel backend {name!r}; available: "
+                         f"{sorted(CHANNEL_REGISTRY)}")

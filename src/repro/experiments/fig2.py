@@ -11,9 +11,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.channel import resolve_channel
 from repro.eval.report import format_table
 from repro.experiments.common import PAPER_PE_CYCLES
-from repro.flash import FlashChannel, level_error_rate, top_error_pattern_counts
+from repro.flash import level_error_rate, top_error_pattern_counts
 from repro.flash.patterns import BITLINE, TOP_ERROR_PATTERNS
 
 __all__ = ["Fig2Result", "run_fig2"]
@@ -54,14 +55,20 @@ class Fig2Result:
         ])
 
 
-def run_fig2(channel: FlashChannel | None = None,
+def run_fig2(channel=None,
              pe_cycles: tuple[int, ...] = PAPER_PE_CYCLES,
              blocks_per_pe: int = 60,
              rng: np.random.Generator | None = None) -> Fig2Result:
-    """Regenerate Fig. 2 from the simulated channel ("measured" data)."""
+    """Regenerate Fig. 2 from any channel backend.
+
+    ``channel`` defaults to the simulator ("measured" data) and accepts any
+    registered backend name or channel model, so the same driver profiles a
+    trained generative network's spatio-temporal error statistics.
+    """
     if blocks_per_pe < 1:
         raise ValueError("blocks_per_pe must be positive")
-    channel = channel if channel is not None else FlashChannel(
+    channel = resolve_channel(
+        channel if channel is not None else "simulator",
         rng=rng if rng is not None else np.random.default_rng(0))
 
     raw: dict[tuple[str, str], dict[int, int]] = {key: {}

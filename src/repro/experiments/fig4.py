@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.sampling import GenerativeChannelModel
+from repro.channel import resolve_channel
 from repro.eval.divergences import total_variation_distance
 from repro.eval.histograms import conditional_pdfs
 from repro.eval.report import format_table
@@ -44,7 +44,7 @@ def _distribution_width(centers: np.ndarray, probabilities: np.ndarray) -> float
 
 
 def run_fig4(measured_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
-             model: GenerativeChannelModel,
+             model,
              levels: tuple[int, ...] = tuple(range(1, NUM_LEVELS)),
              bins: int = 150) -> Fig4Result:
     """Regenerate Fig. 4.
@@ -55,17 +55,21 @@ def run_fig4(measured_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
         Mapping from P/E cycle count to a pair ``(program_levels, voltages)``
         of measured evaluation arrays, shape ``(N, H, W)`` each.
     model:
-        Trained generative channel model used to regenerate the voltages.
+        Any channel backend whose conditional PDFs are compared against the
+        measured arrays — a registered name, a
+        :class:`repro.channel.ChannelModel`, or a legacy wrapper (typically
+        the trained generative model).
     levels:
         Program levels whose PDFs are estimated (1..7 in the paper).
     bins:
         Histogram resolution.
     """
+    model = resolve_channel(model)
     measured: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
     modeled: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
     summary: list[dict] = []
     for pe, (program, voltages) in sorted(measured_arrays.items()):
-        generated = model.read(program, pe)
+        generated = model.read_voltages(program, pe)
         measured[pe] = conditional_pdfs(program, voltages, levels=levels,
                                         bins=bins)
         modeled[pe] = conditional_pdfs(program, generated, levels=levels,

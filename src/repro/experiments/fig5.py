@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.models import BASELINE_MODELS, StatisticalChannelModel
-from repro.core.sampling import GenerativeChannelModel
+from repro.baselines.models import BASELINE_MODELS
+from repro.channel import ChannelModel, build_channel, resolve_channel
 from repro.data.dataset import FlashChannelDataset
 from repro.eval.error_counts import error_counts_from_samples
 from repro.eval.report import format_table
@@ -60,7 +60,7 @@ class Fig5Result:
 
 def run_fig5(training_dataset: FlashChannelDataset,
              evaluation_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
-             generative_model: GenerativeChannelModel | None = None,
+             generative_model=None,
              params: FlashParameters | None = None,
              baseline_iterations: int = 250,
              rng: np.random.Generator | None = None) -> Fig5Result:
@@ -75,31 +75,32 @@ def run_fig5(training_dataset: FlashChannelDataset,
         Mapping from P/E cycle count to measured ``(PL, VL)`` evaluation
         arrays.
     generative_model:
-        Trained cVAE-GAN wrapper; omit to skip the 'cV-G' bars.
+        Trained generative backend (any channel spelling); omit to skip the
+        'cV-G' bars.
     baseline_iterations:
         Nelder-Mead budget per (level, P/E) fit.
     """
     params = params if params is not None else FlashParameters()
     generator = rng if rng is not None else np.random.default_rng(0)
 
-    baselines: dict[str, StatisticalChannelModel] = {}
-    labels = {"Gaussian": "G", "Normal-Laplace": "NL", "Student's t": "S't"}
+    # Every comparator goes through the channel protocol: the baselines are
+    # fitted and wrapped by the registry factory, the generative model is
+    # resolved into its adapter, and all of them answer read_voltages().
+    channels: dict[str, ChannelModel] = {}
+    if generative_model is not None:
+        channels["cV-G"] = resolve_channel(generative_model)
     for model_class in BASELINE_MODELS:
-        fitted = model_class(params).fit(training_dataset,
-                                         max_iterations=baseline_iterations)
-        baselines[labels[model_class.display_name]] = fitted
+        channels[model_class.short_label] = build_channel(
+            model_class.family, dataset=training_dataset, params=params,
+            rng=generator, fit_iterations=baseline_iterations)
 
     counts: dict[int, dict[str, np.ndarray]] = {}
     for pe, (program, voltages) in sorted(evaluation_arrays.items()):
         by_model: dict[str, np.ndarray] = {}
         by_model["M"] = error_counts_from_samples(program, voltages,
                                                   params=params).astype(float)
-        if generative_model is not None:
-            generated = generative_model.read(program, pe)
-            by_model["cV-G"] = error_counts_from_samples(
-                program, generated, params=params).astype(float)
-        for label, baseline in baselines.items():
-            sampled = baseline.sample(program, pe, rng=generator)
+        for label, channel in channels.items():
+            sampled = channel.read_voltages(program, pe)
             by_model[label] = error_counts_from_samples(
                 program, sampled, params=params).astype(float)
         counts[int(pe)] = by_model

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core import GenerativeChannelModel, ModelConfig, Trainer, build_model
+from repro.channel import GenerativeChannel
+from repro.core import ModelConfig, Trainer, build_model
 from repro.data.dataset import FlashChannelDataset
 from repro.eval.divergences import distribution_distance
 from repro.eval.report import format_table
@@ -82,11 +83,11 @@ def run_remark3(training_dataset: FlashChannelDataset,
         trainer = Trainer(model, training_dataset, params=params,
                           rng=np.random.default_rng(seed + 100 + index))
         trainer.train(epochs=epochs)
-        wrapper = GenerativeChannelModel(
+        backend = GenerativeChannel(
             model, params=params, rng=np.random.default_rng(seed + 200 + index))
         distances[name] = {}
         for pe, (program, voltages) in sorted(evaluation_arrays.items()):
-            generated = wrapper.read(program, pe)
+            generated = backend.read_voltages(program, pe)
             distances[name][int(pe)] = distribution_distance(
                 voltages, generated,
                 voltage_range=(params.voltage_min, params.voltage_max))

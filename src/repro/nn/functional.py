@@ -102,8 +102,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     cols = im2col(x.data, kernel, stride, padding)
     weight_flat = weight.data.reshape(out_channels, -1)
-    # (N, C_out, H_out * W_out)
-    out_data = np.einsum("oc,ncl->nol", weight_flat, cols, optimize=True)
+    # (N, C_out, H_out * W_out) via a BLAS-batched matmul (markedly faster
+    # than the equivalent einsum for these shapes).
+    out_data = np.matmul(weight_flat, cols)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1)
     out_data = out_data.reshape(batch, out_channels, out_h, out_w)
@@ -116,14 +117,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         def _backward():
             grad_out = out.grad.reshape(batch, out_channels, -1)
             if weight.requires_grad:
-                grad_weight = np.einsum("nol,ncl->oc", grad_out, cols,
-                                        optimize=True)
+                grad_weight = np.matmul(grad_out,
+                                        cols.transpose(0, 2, 1)).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad_out.sum(axis=(0, 2)))
             if x.requires_grad:
-                grad_cols = np.einsum("oc,nol->ncl", weight_flat, grad_out,
-                                      optimize=True)
+                grad_cols = np.matmul(weight_flat.T, grad_out)
                 x._accumulate(col2im(grad_cols, input_shape, kernel, stride,
                                      padding))
         out._backward = _backward
@@ -160,7 +160,7 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     # col2im and the backward pass uses im2col.
     x_flat = x.data.reshape(batch, in_channels, -1)
     weight_flat = weight.data.reshape(in_channels, -1)  # (C_in, C_out*K*K)
-    cols = np.einsum("cf,ncl->nfl", weight_flat, x_flat, optimize=True)
+    cols = np.matmul(weight_flat.T, x_flat)
     out_data = col2im(cols, output_shape, kernel, stride, padding)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1, 1)
@@ -171,12 +171,12 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         def _backward():
             grad_cols = im2col(out.grad, kernel, stride, padding)
             if x.requires_grad:
-                grad_x = np.einsum("cf,nfl->ncl", weight_flat, grad_cols,
-                                   optimize=True)
+                grad_x = np.matmul(weight_flat, grad_cols)
                 x._accumulate(grad_x.reshape(x.shape))
             if weight.requires_grad:
-                grad_weight = np.einsum("ncl,nfl->cf", x_flat, grad_cols,
-                                        optimize=True)
+                grad_weight = np.matmul(x_flat,
+                                        grad_cols.transpose(0, 2, 1)
+                                        ).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
             if bias is not None and bias.requires_grad:
                 bias._accumulate(out.grad.sum(axis=(0, 2, 3)))

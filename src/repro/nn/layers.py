@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Module",
@@ -329,12 +329,29 @@ class BatchNorm2d(Module):
                 (1 - momentum) * self._buffers["running_var"]
                 + momentum * var.data.reshape(-1))
         else:
+            if not is_grad_enabled():
+                return self._eval_fast_forward(x)
             mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
             var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
         normalized = (x - mean) / ((var + self.eps) ** 0.5)
         weight = self.weight.reshape(1, self.num_features, 1, 1)
         bias = self.bias.reshape(1, self.num_features, 1, 1)
         return normalized * weight + bias
+
+    def _eval_fast_forward(self, x: Tensor) -> Tensor:
+        """Graph-free inference path: one fused affine map per call.
+
+        In evaluation mode with gradients disabled the normalisation is a
+        fixed per-channel affine transform; folding it into a single NumPy
+        expression avoids the five intermediate tensors (and their data
+        copies) the graph-building path allocates.
+        """
+        scale = self.weight.data / np.sqrt(self._buffers["running_var"]
+                                           + self.eps)
+        shift = self.bias.data - self._buffers["running_mean"] * scale
+        data = x.data * scale.reshape(1, -1, 1, 1) \
+            + shift.reshape(1, -1, 1, 1)
+        return x._make_child(data, (x,), "batchnorm_eval")
 
 
 class ReLU(Module):

@@ -325,7 +325,20 @@ class Tensor:
             out._backward = _backward
         return out
 
+    def _needs_graph(self) -> bool:
+        """Whether an op on this tensor must record backward state.
+
+        The graph-free fast-forward path: under :func:`no_grad` (or for leaf
+        data that never requires gradients) elementwise ops skip both the
+        backward closure and the auxiliary arrays (masks, signs) it would
+        capture, leaving a single forward NumPy call per op.
+        """
+        return _GRAD_ENABLED and self.requires_grad
+
     def relu(self) -> "Tensor":
+        if not self._needs_graph():
+            return self._make_child(np.maximum(self.data, 0.0), (self,),
+                                    "relu")
         mask = self.data > 0
         out = self._make_child(self.data * mask, (self,), "relu")
         if out.requires_grad:
@@ -335,6 +348,10 @@ class Tensor:
         return out
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        if not self._needs_graph():
+            return self._make_child(
+                np.where(self.data > 0, self.data,
+                         self.data * negative_slope), (self,), "leaky_relu")
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
         out = self._make_child(self.data * scale, (self,), "leaky_relu")
@@ -345,9 +362,10 @@ class Tensor:
         return out
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
         out = self._make_child(np.abs(self.data), (self,), "abs")
         if out.requires_grad:
+            sign = np.sign(self.data)
+
             def _backward():
                 self._accumulate(out.grad * sign)
             out._backward = _backward
@@ -355,9 +373,10 @@ class Tensor:
 
     def clip(self, minimum: float, maximum: float) -> "Tensor":
         clipped = np.clip(self.data, minimum, maximum)
-        mask = (self.data >= minimum) & (self.data <= maximum)
         out = self._make_child(clipped, (self,), "clip")
         if out.requires_grad:
+            mask = (self.data >= minimum) & (self.data <= maximum)
+
             def _backward():
                 self._accumulate(out.grad * mask)
             out._backward = _backward

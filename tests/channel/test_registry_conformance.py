@@ -1,0 +1,168 @@
+"""Registry-conformance suite: every backend honours the channel protocol.
+
+Each entry of :data:`repro.channel.CHANNEL_REGISTRY` is built with a small
+test configuration and run through the same contract: output shapes and
+dtype, the physical voltage window, the temporal operating-condition axes,
+capability flags, the condition cache, and — for backends that promise it —
+a monotone error rate versus P/E cycling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    CHANNEL_REGISTRY,
+    ChannelCapabilities,
+    ChannelModel,
+    build_channel,
+)
+from repro.core import ModelConfig
+from repro.data import generate_paired_dataset
+from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+from repro.flash.cell import ERASED_LEVEL, NUM_LEVELS
+
+BACKEND_NAMES = sorted(CHANNEL_REGISTRY)
+
+#: P/E read points the test dataset covers (baselines only exist at these).
+FITTED_PE = (4000.0, 10000.0)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return FlashParameters()
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(params):
+    channel = FlashChannel(params, geometry=BlockGeometry(32, 32),
+                           rng=np.random.default_rng(100))
+    return generate_paired_dataset(channel, pe_cycles=FITTED_PE,
+                                   arrays_per_pe=24, array_size=16)
+
+
+@pytest.fixture(scope="module")
+def backends(params, tiny_dataset):
+    """One instance of every registered backend, built by name."""
+    built = {}
+    for index, name in enumerate(BACKEND_NAMES):
+        rng = np.random.default_rng(1000 + index)
+        kwargs = {"params": params, "rng": rng,
+                  "geometry": BlockGeometry(16, 16)}
+        if name in ("gaussian", "normal_laplace", "students_t"):
+            kwargs.update(dataset=tiny_dataset, fit_iterations=60)
+        elif name != "simulator":
+            kwargs.update(config=ModelConfig.tiny())
+        built[name] = build_channel(name, **kwargs)
+    return built
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return np.random.default_rng(7).integers(0, NUM_LEVELS, size=(3, 16, 16))
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+class TestProtocolContract:
+    def test_is_channel_model(self, backends, name):
+        assert isinstance(backends[name], ChannelModel)
+
+    def test_capabilities(self, backends, name):
+        capabilities = backends[name].supports()
+        assert isinstance(capabilities, ChannelCapabilities)
+        assert capabilities.name
+        assert capabilities.retention and capabilities.read_disturb
+
+    def test_read_voltages_shape_and_dtype(self, backends, name, levels):
+        voltages = backends[name].read_voltages(levels, FITTED_PE[0])
+        assert voltages.shape == levels.shape
+        assert voltages.dtype == np.float64
+
+    def test_single_array_shape(self, backends, name, levels):
+        voltages = backends[name].read_voltages(levels[0], FITTED_PE[0])
+        assert voltages.shape == levels[0].shape
+
+    def test_voltages_within_physical_window(self, backends, name, levels,
+                                             params):
+        voltages = backends[name].read_voltages(levels, FITTED_PE[1])
+        assert voltages.min() >= params.voltage_min
+        assert voltages.max() <= params.voltage_max
+
+    def test_rejects_invalid_inputs(self, backends, name, levels):
+        channel = backends[name]
+        with pytest.raises(ValueError):
+            channel.read_voltages(np.zeros(16, dtype=int), FITTED_PE[0])
+        with pytest.raises(ValueError):
+            channel.read_voltages(levels, -1.0)
+        with pytest.raises(ValueError):
+            channel.read_voltages(levels, FITTED_PE[0], retention_hours=-1.0)
+        with pytest.raises(ValueError):
+            channel.read_voltages(np.full((4, 4), NUM_LEVELS), FITTED_PE[0])
+
+    def test_program_random_block(self, backends, name):
+        block = backends[name].program_random_block()
+        assert block.shape == (16, 16)
+        assert block.min() >= 0 and block.max() < NUM_LEVELS
+
+    def test_paired_blocks(self, backends, name):
+        program, voltages = backends[name].paired_blocks(2, FITTED_PE[0])
+        assert program.shape == (2, 16, 16)
+        assert voltages.shape == (2, 16, 16)
+
+    def test_retention_shifts_programmed_levels_down(self, backends, name):
+        channel = backends[name]
+        levels = np.full((64, 64), NUM_LEVELS - 1)
+        rng = np.random.default_rng(5)
+        fresh = channel.read_voltages(levels, FITTED_PE[0], rng=rng)
+        aged = channel.read_voltages(levels, FITTED_PE[0],
+                                     retention_hours=2000.0,
+                                     rng=np.random.default_rng(5))
+        assert aged.mean() < fresh.mean()
+
+    def test_read_disturb_shifts_erased_cells_up(self, backends, name):
+        channel = backends[name]
+        levels = np.full((64, 64), ERASED_LEVEL)
+        fresh = channel.read_voltages(levels, FITTED_PE[0],
+                                      rng=np.random.default_rng(6))
+        disturbed = channel.read_voltages(levels, FITTED_PE[0],
+                                          read_disturbs=500000,
+                                          rng=np.random.default_rng(6))
+        assert disturbed.mean() > fresh.mean()
+
+    def test_density_table_cached(self, backends, name):
+        channel = backends[name]
+        first = channel.density_table(FITTED_PE[0], num_bins=32, num_blocks=1)
+        second = channel.density_table(FITTED_PE[0], num_bins=32, num_blocks=1)
+        assert first is second
+        assert channel.cache.hits >= 1
+
+    def test_wear_monotone_error_rate(self, backends, name):
+        """Backends that promise wear monotonicity must deliver it."""
+        channel = backends[name]
+        if not channel.supports().wear_monotone:
+            pytest.skip(f"{name} does not promise wear monotonicity")
+        young = channel.level_error_rate_estimate(FITTED_PE[0], num_blocks=12)
+        old = channel.level_error_rate_estimate(FITTED_PE[1], num_blocks=12)
+        assert old > young
+
+
+class TestRegistry:
+    def test_expected_backends_registered(self):
+        assert {"simulator", "generative", "cvae_gan", "cgan", "cvae",
+                "bicycle_gan", "gaussian", "normal_laplace",
+                "students_t"} <= set(CHANNEL_REGISTRY)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown channel backend"):
+            build_channel("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.channel import register_channel
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_channel("simulator")(lambda **kwargs: None)
+
+    def test_baseline_requires_fit_data(self, params):
+        with pytest.raises(ValueError, match="not fitted"):
+            build_channel("gaussian", params=params)

@@ -159,6 +159,75 @@ class TestMinSumDecoder:
             assert code.is_codeword(result.codeword)
 
 
+def _reference_min_sum(code: LDPCCode, llrs: np.ndarray,
+                       max_iterations: int = 30, scale: float = 0.8
+                       ) -> tuple[np.ndarray, int, bool]:
+    """The pre-vectorization per-check Python loop, kept as the oracle."""
+    llrs = np.asarray(llrs, dtype=float)
+    num_checks = code.parity_check.shape[0]
+    check_to_variable = np.zeros((num_checks, code.n))
+    hard = (llrs < 0).astype(np.int64)
+    if code.is_codeword(hard):
+        return hard, 0, True
+    for iteration in range(1, max_iterations + 1):
+        totals = llrs + check_to_variable.sum(axis=0)
+        for check, neighbours in enumerate(code._check_neighbours):
+            incoming = totals[neighbours] - check_to_variable[check,
+                                                              neighbours]
+            signs = np.sign(incoming)
+            signs[signs == 0] = 1.0
+            magnitudes = np.abs(incoming)
+            order = np.argsort(magnitudes)
+            smallest = magnitudes[order[0]]
+            second = magnitudes[order[1]] if neighbours.size > 1 else smallest
+            product_sign = np.prod(signs)
+            outgoing = np.where(np.arange(neighbours.size) == order[0],
+                                second, smallest)
+            check_to_variable[check, neighbours] = \
+                scale * product_sign * signs * outgoing
+        totals = llrs + check_to_variable.sum(axis=0)
+        hard = (totals < 0).astype(np.int64)
+        if code.is_codeword(hard):
+            return hard, iteration, True
+    return hard, max_iterations, False
+
+
+class TestVectorizedMinSumRegression:
+    """The vectorized check-node update must match the scalar loop exactly."""
+
+    @pytest.mark.parametrize("noise_sigma", [0.5, 0.7, 0.9])
+    def test_identical_decode_results(self, code, noise_sigma):
+        rng = np.random.default_rng(int(noise_sigma * 100))
+        for _ in range(8):
+            message = rng.integers(0, 2, size=code.k)
+            codeword = code.encode(message)
+            llrs = _bpsk_llrs(codeword, noise_sigma=noise_sigma, rng=rng)
+            expected_codeword, expected_iterations, expected_success = \
+                _reference_min_sum(code, llrs, max_iterations=30)
+            result = code.decode_min_sum(llrs, max_iterations=30)
+            np.testing.assert_array_equal(result.codeword, expected_codeword)
+            assert result.iterations == expected_iterations
+            assert result.success == expected_success
+
+    def test_identical_on_irregular_parity_check(self):
+        """Padded adjacency handles rows of different degree."""
+        rng = np.random.default_rng(0)
+        parity = gallager_parity_check_matrix(24, 3, 6, rng=rng)
+        parity[0, :3] = 0  # degree-3 row among degree-6 rows
+        irregular = LDPCCode(parity)
+        for seed in range(6):
+            noise = np.random.default_rng(seed)
+            codeword = irregular.encode(
+                noise.integers(0, 2, size=irregular.k))
+            llrs = _bpsk_llrs(codeword, noise_sigma=0.8, rng=noise)
+            expected_codeword, expected_iterations, expected_success = \
+                _reference_min_sum(irregular, llrs, max_iterations=20)
+            result = irregular.decode_min_sum(llrs, max_iterations=20)
+            np.testing.assert_array_equal(result.codeword, expected_codeword)
+            assert result.iterations == expected_iterations
+            assert result.success == expected_success
+
+
 class TestBitFlippingDecoder:
     def test_clean_word_passes_through(self, code):
         codeword = code.encode(np.ones(code.k, dtype=int))
