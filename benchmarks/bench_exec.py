@@ -1,0 +1,173 @@
+"""Sharded Monte-Carlo engine throughput: LDPC frames/s vs worker count.
+
+This benchmark runs the repository's heaviest per-frame sweep — a
+soft-decision LDPC frame-error campaign over the simulator channel — through
+every execution backend of :mod:`repro.exec` and reports frames/second:
+
+* ``serial`` — the single-process reference path;
+* ``process_2`` / ``process_4`` — the ``concurrent.futures`` process pool
+  with 2 and 4 workers.
+
+Because plan randomness is anchored per codeword group, every backend must
+produce **bit-identical** frame records; the benchmark asserts that before
+trusting any timing.  Results are merged into
+``benchmarks/results/pipeline.json`` (the CI-tracked throughput file):
+the ``exec`` key holds the latest run and ``exec_series`` accumulates one
+entry per run, so successive PRs form a tracked series.
+
+Regression thresholds are per backend and **core-gated**: a pool backend is
+only held to its speedup threshold when the machine actually has that many
+cores, so the benchmark is honest on constrained runners while CI (4 vCPUs)
+enforces the full ladder.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_exec.py``); pass
+``--smoke`` for the quick 2-worker determinism shard only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from results_io import merge_results as _merge_tracked_results
+
+#: The CI smoke campaign: large enough that pool startup is amortized
+#: (~1.3 s serial on one 2020s core), small enough to finish in seconds.
+CODEWORDS = 1536
+GROUP_SIZE = 8
+PE_CYCLES = 30000
+CODE_LENGTH = 252
+
+#: Executor backends measured, in order.
+BACKENDS = (("serial", None), ("process", 2), ("process", 4))
+
+#: Minimum frames/s relative to serial per pool backend.  Enforced only when
+#: ``os.cpu_count()`` provides at least that many cores.
+SPEEDUP_THRESHOLDS = {"process_2": 1.3, "process_4": 2.5}
+
+
+def _build_campaign(seed: int):
+    from repro.channel import build_channel
+    from repro.ecc import LDPCCode, evaluate_ldpc_over_channel
+    from repro.flash import BlockGeometry
+
+    channel = build_channel("simulator", geometry=BlockGeometry(16, 16),
+                            rng=np.random.default_rng(0))
+    code = LDPCCode.regular(n=CODE_LENGTH, column_weight=3, row_weight=6,
+                            rng=np.random.default_rng(1))
+    # A one-codeword warm-up campaign caches the seed-anchored density table,
+    # so the timed runs measure the campaign itself — and the serial backend
+    # (measured first) is not unfairly charged for the one-off estimation.
+    evaluate_ldpc_over_channel(code, channel, PE_CYCLES, num_codewords=1,
+                               seed=seed)
+    return channel, code
+
+
+def run_exec_benchmark(num_codewords: int = CODEWORDS) -> dict:
+    """Frames/s of the LDPC campaign per execution backend."""
+    from repro.ecc import evaluate_ldpc_over_channel
+
+    channel, code = _build_campaign(seed=9)
+    results: dict[str, dict] = {}
+    reference_records = None
+    for name, workers in BACKENDS:
+        label = name if workers is None else f"{name}_{workers}"
+        start = time.perf_counter()
+        outcome = evaluate_ldpc_over_channel(
+            code, channel, PE_CYCLES, num_codewords=num_codewords,
+            group_size=GROUP_SIZE, seed=9, executor=name, workers=workers)
+        seconds = time.perf_counter() - start
+        if reference_records is None:
+            reference_records = outcome.frame_records
+        elif not np.array_equal(outcome.frame_records, reference_records):
+            raise SystemExit(f"{label} produced different frame records than "
+                             "serial — sharding broke determinism")
+        results[label] = {
+            "workers": workers if workers is not None else 1,
+            "codewords": num_codewords,
+            "seconds": seconds,
+            "frames_per_second": num_codewords / seconds,
+        }
+    serial = results["serial"]["frames_per_second"]
+    for label, entry in results.items():
+        entry["speedup_vs_serial"] = entry["frames_per_second"] / serial
+    results["frame_error_rate"] = float(outcome.frame_error_rate)
+    results["cpu_count"] = os.cpu_count() or 1
+    return results
+
+
+def check_thresholds(results: dict) -> list[str]:
+    """Per-backend regression failures, gated on available cores."""
+    failures = []
+    if results["serial"]["frames_per_second"] <= 0:
+        failures.append("serial backend produced no throughput")
+    for label, minimum in SPEEDUP_THRESHOLDS.items():
+        workers = results[label]["workers"]
+        if results["cpu_count"] < workers:
+            continue
+        speedup = results[label]["speedup_vs_serial"]
+        if speedup < minimum:
+            failures.append(f"{label}: {speedup:.2f}x vs serial is below "
+                            f"the {minimum:.1f}x threshold")
+    return failures
+
+
+def run_smoke_shard() -> None:
+    """2-worker smoke shard: sharded output must equal serial exactly."""
+    from repro.ecc import evaluate_ldpc_over_channel
+
+    channel, code = _build_campaign(seed=123)
+    kwargs = dict(num_codewords=16, group_size=4, seed=123)
+    serial = evaluate_ldpc_over_channel(code, channel, PE_CYCLES,
+                                        executor="serial", **kwargs)
+    sharded = evaluate_ldpc_over_channel(code, channel, PE_CYCLES,
+                                         executor="process", workers=2,
+                                         **kwargs)
+    if not np.array_equal(serial.frame_records, sharded.frame_records):
+        raise SystemExit("2-worker smoke shard diverged from serial")
+    print("smoke shard OK: 2-worker records identical to serial")
+
+
+def merge_results(results: dict):
+    """Fold this run into the tracked throughput file (exec + series)."""
+    from results_io import load_results
+
+    labels = [name if workers is None else f"{name}_{workers}"
+              for name, workers in BACKENDS]
+    series = load_results().get("exec_series", [])
+    series.append({
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "cpu_count": results["cpu_count"],
+        "frames_per_second": {
+            label: round(results[label]["frames_per_second"], 1)
+            for label in labels},
+    })
+    return _merge_tracked_results({"exec": results, "exec_series": series})
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the 2-worker determinism smoke shard")
+    parser.add_argument("--codewords", type=int, default=CODEWORDS)
+    args = parser.parse_args()
+
+    if args.smoke:
+        run_smoke_shard()
+        return
+    results = run_exec_benchmark(args.codewords)
+    path = merge_results(results)
+    print(json.dumps(results, indent=2))
+    print(f"merged into {path}")
+    failures = check_thresholds(results)
+    if failures:
+        raise SystemExit("throughput regression: " + "; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

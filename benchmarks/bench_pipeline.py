@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-RESULTS_PATH = Path(__file__).parent / "results" / "pipeline.json"
+from results_io import merge_results
 
 #: Workload of the generative comparison: ``ARRAYS`` model-size arrays read
 #: ``SAMPLES`` times each (the paper's repeated-latent evaluation protocol).
@@ -143,16 +143,20 @@ def run_pipeline_benchmark(repeats: int = 3) -> dict:
         "cold_seconds": cold,
         "warm_seconds": warm,
         "speedup": cold / max(warm, 1e-9),
-        **simulator.cache.stats,
+        **simulator.cache.stats(),
     }
 
     return results
 
 
 def write_results(results: dict) -> Path:
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    return RESULTS_PATH
+    """Merge this run's entries into the tracked throughput file.
+
+    The file is shared with other benchmarks (``bench_exec.py`` keeps its
+    sharded-execution series there), so existing keys this benchmark does
+    not produce are preserved.
+    """
+    return merge_results(results)
 
 
 def test_pipeline_throughput():

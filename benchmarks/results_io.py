@@ -1,0 +1,33 @@
+"""Shared access to the tracked throughput file ``results/pipeline.json``.
+
+Several benchmarks report into one file — ``bench_pipeline.py`` owns the
+per-backend channel throughput keys, ``bench_exec.py`` the sharded-execution
+``exec`` / ``exec_series`` keys — so every writer must merge, never
+overwrite: read the current contents, update its own top-level keys, write
+the result back.  This module is that single read-merge-write path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).parent / "results" / "pipeline.json"
+
+__all__ = ["RESULTS_PATH", "load_results", "merge_results"]
+
+
+def load_results() -> dict:
+    """The tracked results, or an empty dict before the first run."""
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text())
+    return {}
+
+
+def merge_results(updates: dict) -> Path:
+    """Merge top-level keys into the tracked file, preserving all others."""
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    data = load_results()
+    data.update(updates)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return RESULTS_PATH

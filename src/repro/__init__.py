@@ -23,6 +23,11 @@ The package is organised as a stack of subsystems:
     The unified channel-model protocol: simulator, generative and baseline
     backends behind one ``read_voltages`` API, selected by name from a
     registry, with batched sampling and per-condition caching.
+``repro.exec``
+    The sharded Monte-Carlo execution engine: every sweep is a
+    ``MonteCarloPlan`` run over pluggable serial/thread/process executors
+    with per-unit seed splitting (bit-identical for any worker count) and
+    mergeable reducers/caches.
 ``repro.eval``
     Evaluation metrics: conditional PDFs, divergences, level error counts and
     ICI pattern analysis.

@@ -8,15 +8,36 @@ recompute and small to store, so every :class:`repro.channel.ChannelModel`
 carries a :class:`ConditionCache` keyed by the condition tuple.
 
 The cache is a plain ordered-dict LRU: no external dependency, deterministic
-eviction, and hit/miss counters so benchmarks can report cache effectiveness.
+eviction, and hit/miss/merge counters so benchmarks can report cache
+effectiveness.  Because the sharded execution engine (:mod:`repro.exec`)
+pickles cache-bearing objects into worker processes, the cache is also
+*mergeable*: :meth:`merge` folds a worker's entries back into the parent
+while respecting LRU order and capacity.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 __all__ = ["ConditionCache"]
+
+
+class _InFlight:
+    """Reservation stored while a key's compute runs.
+
+    Records the owning thread so a *reentrant* compute of the same key (the
+    same thread re-entering through its own compute callable — an infinite
+    recursion in the making) fails fast, while a merely *concurrent* compute
+    from another thread falls back to computing independently, exactly as it
+    did before reservations existed.
+    """
+
+    __slots__ = ("thread_id",)
+
+    def __init__(self):
+        self.thread_id = threading.get_ident()
 
 
 class ConditionCache:
@@ -35,37 +56,105 @@ class ConditionCache:
             raise ValueError("maxsize must be non-negative")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self.reset_stats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(1 for value in self._entries.values()
+                   if not isinstance(value, _InFlight))
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        return key in self._entries \
+            and not isinstance(self._entries[key], _InFlight)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on a miss."""
+        """Return the cached value for ``key``, computing it on a miss.
+
+        A ``compute`` that raises does not poison the key: the reservation is
+        removed and the next call recomputes.  A compute that re-enters the
+        cache for its own key raises :class:`RuntimeError` instead of
+        recursing forever; a concurrent compute from *another* thread simply
+        computes its own copy (duplicate work, never a crash).
+        """
         if key in self._entries:
+            value = self._entries[key]
+            if isinstance(value, _InFlight):
+                if value.thread_id == threading.get_ident():
+                    raise RuntimeError(f"reentrant computation of cache key "
+                                       f"{key!r}")
+                # Another thread is computing this key; duplicate the work
+                # independently rather than waiting on (or corrupting) its
+                # reservation.
+                self.misses += 1
+                return compute()
             self.hits += 1
             self._entries.move_to_end(key)
-            return self._entries[key]
+            return value
         self.misses += 1
-        value = compute()
-        if self.maxsize > 0:
-            self._entries[key] = value
-            if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        if self.maxsize == 0:
+            return compute()
+        reservation = _InFlight()
+        self._entries[key] = reservation
+        try:
+            value = compute()
+        except BaseException:
+            if self._entries.get(key) is reservation:
+                self._entries.pop(key, None)
+            raise
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
         return value
 
+    def merge(self, other: "ConditionCache") -> int:
+        """Fold another cache's entries into this one, LRU-respecting.
+
+        Entries are taken in the other cache's LRU order (least recent
+        first), so the most recently used entries of both caches survive
+        capacity eviction.  On a key conflict this cache keeps its own value
+        — the deterministic compute contract means both sides hold the same
+        artifact — and only refreshes the key's recency.  The other cache's
+        hit/miss counters are added to this one's, so :meth:`stats` reflects
+        the whole (possibly sharded) workload.  Returns the number of new
+        entries adopted.
+        """
+        if other is self:
+            raise ValueError("cannot merge a cache into itself")
+        adopted = 0
+        for key, value in list(other._entries.items()):
+            if isinstance(value, _InFlight):
+                continue
+            if key in self._entries:
+                if not isinstance(self._entries[key], _InFlight):
+                    self._entries.move_to_end(key)
+            elif self.maxsize > 0:
+                self._entries[key] = value
+                adopted += 1
+                if len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+        self.hits += other.hits
+        self.misses += other.misses
+        self.merges += 1
+        self.merged_entries += adopted
+        return adopted
+
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset all counters."""
         self._entries.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/merge counters, keeping the entries.
+
+        Shard workers call this before running so their returned snapshot
+        reports the shard's own activity, not the parent's pickled history.
+        """
         self.hits = 0
         self.misses = 0
+        self.merges = 0
+        self.merged_entries = 0
 
-    @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss/size counters (useful in benchmark reports)."""
+        """Hit/miss/merge/size counters (useful in benchmark reports)."""
         return {"hits": self.hits, "misses": self.misses,
-                "size": len(self._entries)}
+                "merges": self.merges, "merged_entries": self.merged_entries,
+                "size": len(self)}

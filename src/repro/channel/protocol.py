@@ -179,21 +179,26 @@ class ChannelModel:
 
     def paired_blocks(self, num_blocks: int, pe_cycles: float,
                       apply_program_errors: bool = True, *,
-                      retention_hours: float = 0.0, read_disturbs: float = 0
+                      retention_hours: float = 0.0, read_disturbs: float = 0,
+                      rng: np.random.Generator | None = None
                       ) -> tuple[np.ndarray, np.ndarray]:
         """``num_blocks`` paired (PL, VL) blocks at one operating condition.
 
         ``apply_program_errors`` is honoured by backends whose capabilities
         include program errors and ignored otherwise (a learned or fitted
         model absorbs mis-programming into the composite distribution).
+        ``rng`` overrides the backend's generator for this call — the hook
+        the sharded execution engine uses to anchor randomness per unit.
         """
         if num_blocks < 1:
             raise ValueError("num_blocks must be positive")
-        program = np.stack([self.program_random_block()
+        generator = rng if rng is not None else self.rng
+        program = np.stack([self.program_random_block(rng=generator)
                             for _ in range(num_blocks)])
         voltages = self._read_with_program_errors(
             program, pe_cycles, apply_program_errors,
-            retention_hours=retention_hours, read_disturbs=read_disturbs)
+            retention_hours=retention_hours, read_disturbs=read_disturbs,
+            rng=rng)
         return program, voltages
 
     def _read_with_program_errors(self, program: np.ndarray, pe_cycles: float,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.channel import ChannelModel, ConditionCache, resolve_channel
 from repro.coding.capacity import rate_penalty
 from repro.coding.constrained import ICIConstrainedCode
+from repro.exec import MeanReducer, MonteCarloPlan, run_plan, stable_seed
 from repro.flash.cell import ERASED_LEVEL
 from repro.flash.errors import level_error_rate, per_level_error_rates
 from repro.flash.params import FlashParameters
@@ -60,32 +61,52 @@ class ConstraintOperatingPoint:
         return self.high_level is None
 
 
+def _block_error_metric(unit, rng, *, channel, code, pe_cycles, params,
+                        metric):
+    """Error rate of one (optionally constrained) random block — plan task."""
+    levels = channel.program_random_block(rng=rng)
+    if code is not None:
+        levels, _ = code.encode(levels)
+    voltages = channel.read_voltages(levels, pe_cycles, rng=rng)
+    if metric == "level":
+        return level_error_rate(levels, voltages, params=params)
+    return per_level_error_rates(levels, voltages,
+                                 params=params)[ERASED_LEVEL]
+
+
 def _measure_error_rate(channel: ChannelModel, pe_cycles: float,
                         code: ICIConstrainedCode | None, num_blocks: int,
                         params: FlashParameters | None,
-                        metric: str = "level") -> float:
-    """Average error rate of (optionally constrained) random blocks."""
+                        metric: str = "level", seed: int = 0,
+                        executor=None, workers: int | None = None) -> float:
+    """Average error rate of (optionally constrained) random blocks.
+
+    Runs as a :class:`~repro.exec.MonteCarloPlan` with one unit per block:
+    randomness is anchored per block, so the result is bit-identical for any
+    executor/worker count at a fixed seed.  The seed mixes in the P/E count
+    but *not* the constraint, so every constraint strength at one condition
+    is measured on the same random blocks — common random numbers, which
+    makes the tradeoff comparison paired and low-variance.
+    """
     if metric not in ERROR_METRICS:
         raise ValueError(f"metric must be one of {ERROR_METRICS}")
-    rates = []
-    for _ in range(num_blocks):
-        levels = channel.program_random_block()
-        if code is not None:
-            levels, _ = code.encode(levels)
-        voltages = channel.read_voltages(levels, pe_cycles)
-        if metric == "level":
-            rates.append(level_error_rate(levels, voltages, params=params))
-        else:
-            rates.append(per_level_error_rates(levels, voltages,
-                                               params=params)[ERASED_LEVEL])
-    return float(np.mean(rates))
+    plan = MonteCarloPlan(
+        task=_block_error_metric,
+        units=tuple(range(num_blocks)),
+        seed=stable_seed(seed, float(pe_cycles)),
+        context=dict(channel=channel, code=code, pe_cycles=float(pe_cycles),
+                     params=params, metric=metric))
+    return float(run_plan(plan, reducer=MeanReducer(), executor=executor,
+                          workers=workers))
 
 
 def constraint_tradeoff_curve(channel, pe_cycles: float,
                               high_levels: tuple[int, ...] = (5, 6, 7),
                               num_blocks: int = 6,
                               params: FlashParameters | None = None,
-                              metric: str = "level"
+                              metric: str = "level",
+                              seed: int | None = None,
+                              executor=None, workers: int | None = None
                               ) -> list[ConstraintOperatingPoint]:
     """Error rate versus rate penalty of each candidate constraint.
 
@@ -95,23 +116,42 @@ def constraint_tradeoff_curve(channel, pe_cycles: float,
     entry of the returned list is always the unconstrained baseline (no
     forbidden patterns, zero rate penalty).  ``metric`` selects what "error
     rate" means (see :data:`ERROR_METRICS`); use ``"erased"`` to study the
-    victim population the constraint actually protects.
+    victim population the constraint actually protects.  ``seed`` anchors
+    the Monte-Carlo randomness (drawn from the channel's generator when
+    omitted); ``executor``/``workers`` shard the per-constraint block sweeps
+    (:func:`repro.exec.build_executor`) with bit-identical results.
     """
     if num_blocks < 1:
         raise ValueError("num_blocks must be positive")
     channel = resolve_channel(channel)
-    points = [ConstraintOperatingPoint(
-        pe_cycles=float(pe_cycles), high_level=None,
-        error_rate=_measure_error_rate(channel, pe_cycles, None, num_blocks,
-                                       params, metric),
-        rate_penalty=0.0)]
-    for high_level in high_levels:
-        code = ICIConstrainedCode(high_level=high_level)
-        points.append(ConstraintOperatingPoint(
-            pe_cycles=float(pe_cycles), high_level=int(high_level),
-            error_rate=_measure_error_rate(channel, pe_cycles, code,
-                                           num_blocks, params, metric),
-            rate_penalty=rate_penalty(high_level)))
+    if seed is None:
+        seed = int(channel.rng.integers(0, 2 ** 31))
+    # Resolve the executor once so a pool's workers serve every constraint.
+    from repro.exec import Executor, build_executor
+
+    owns_backend = executor is not None and not isinstance(executor, Executor)
+    backend = build_executor(executor, workers) if executor is not None \
+        else None
+    try:
+        points = [ConstraintOperatingPoint(
+            pe_cycles=float(pe_cycles), high_level=None,
+            error_rate=_measure_error_rate(channel, pe_cycles, None,
+                                           num_blocks, params, metric,
+                                           seed=seed, executor=backend,
+                                           workers=workers),
+            rate_penalty=0.0)]
+        for high_level in high_levels:
+            code = ICIConstrainedCode(high_level=high_level)
+            points.append(ConstraintOperatingPoint(
+                pe_cycles=float(pe_cycles), high_level=int(high_level),
+                error_rate=_measure_error_rate(channel, pe_cycles, code,
+                                               num_blocks, params, metric,
+                                               seed=seed, executor=backend,
+                                               workers=workers),
+                rate_penalty=rate_penalty(high_level)))
+    finally:
+        if owns_backend:
+            backend.close()
     return points
 
 
@@ -136,6 +176,17 @@ class TimeAwareCodeSelector:
         Error metric the target applies to: ``"level"`` (overall level error
         rate) or ``"erased"`` (error rate of erased-victim cells, the
         population the constraint protects).
+    seed:
+        Root seed of every measurement.  Each P/E count derives its own
+        stream from it, and every constraint strength at one P/E count is
+        measured on the *same* random blocks (common random numbers — see
+        :func:`_measure_error_rate`), so measurements are reproducible,
+        independent of query order, and paired across constraints.
+    executor / workers:
+        Execution backend for the per-point block sweeps
+        (:func:`repro.exec.build_executor`); results are bit-identical for
+        any choice.  A backend name is resolved once, so a pool executor's
+        workers are reused across every point of a schedule.
     """
 
     channel: object
@@ -144,6 +195,9 @@ class TimeAwareCodeSelector:
     num_blocks: int = 6
     params: FlashParameters | None = None
     metric: str = "level"
+    seed: int = 0
+    executor: object = None
+    workers: int | None = None
     # Generous capacity: a schedule sweep touches every (P/E, constraint)
     # pair and must never re-measure a point it already compared against.
     _cache: ConditionCache = field(
@@ -159,6 +213,12 @@ class TimeAwareCodeSelector:
         if self.metric not in ERROR_METRICS:
             raise ValueError(f"metric must be one of {ERROR_METRICS}")
         self.channel = resolve_channel(self.channel)
+        if self.executor is not None:
+            # Resolve once: a pool executor then keeps its workers across
+            # every (P/E, constraint) measurement of a schedule.
+            from repro.exec import build_executor
+
+            self.executor = build_executor(self.executor, self.workers)
 
     def _error_rate(self, pe_cycles: float, high_level: int | None) -> float:
         code = None if high_level is None \
@@ -167,7 +227,9 @@ class TimeAwareCodeSelector:
             (float(pe_cycles), high_level),
             lambda: _measure_error_rate(self.channel, pe_cycles, code,
                                         self.num_blocks, self.params,
-                                        self.metric))
+                                        self.metric, seed=self.seed,
+                                        executor=self.executor,
+                                        workers=self.workers))
 
     def select(self, pe_cycles: float) -> ConstraintOperatingPoint:
         """Cheapest operating point meeting the target at ``pe_cycles``.
@@ -196,3 +258,10 @@ class TimeAwareCodeSelector:
         if not pe_points:
             raise ValueError("pe_points must not be empty")
         return [self.select(pe_cycles) for pe_cycles in pe_points]
+
+    def close(self) -> None:
+        """Release the executor's worker pool, if the selector holds one."""
+        from repro.exec import Executor
+
+        if isinstance(self.executor, Executor):
+            self.executor.close()

@@ -1,0 +1,77 @@
+"""The sharded Monte-Carlo engine: plan -> shards -> reduce -> merge caches.
+
+:func:`run_plan` is the single entry point every sweep in this repository
+goes through — the time-aware constrained-code selector, the BCH/LDPC
+frame-error campaigns, and the figure drivers.  It guarantees:
+
+* **Determinism** — per-unit :class:`numpy.random.SeedSequence` splitting
+  and unit-ordered reduction make the output bit-identical for any executor
+  and worker count (test-enforced in ``tests/exec/``).
+* **Cache continuity** — when shards run in worker processes, the condition
+  caches their context objects accumulated are folded back into the parent's
+  caches via :meth:`repro.channel.ConditionCache.merge`, so a sharded sweep
+  warms the same caches a serial one would.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exec.executors import Executor, build_executor
+from repro.exec.plan import MonteCarloPlan, collect_cache_bearers
+from repro.exec.reducers import Reducer
+
+__all__ = ["run_plan"]
+
+
+def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
+             executor: str | Executor | None = None,
+             workers: int | None = None,
+             num_shards: int | None = None,
+             merge_caches: bool = True) -> Any:
+    """Execute a Monte-Carlo plan and reduce its per-unit results.
+
+    Parameters
+    ----------
+    plan:
+        The sweep to run.
+    reducer:
+        Folds the per-unit results (in unit order) into the final value;
+        when omitted the raw per-unit result list is returned.
+    executor:
+        An executor backend name (``"auto"``, ``"serial"``, ``"thread"``,
+        ``"process"``), a built :class:`Executor`, or None for ``"auto"``.
+    workers:
+        Worker count for pool executors (defaults to the CPU count).
+    num_shards:
+        Number of shards to cut the plan into; defaults to the executor's
+        one-shard-per-worker policy.  A pure throughput knob: results are
+        bit-identical for any value.
+    merge_caches:
+        Fold per-worker condition-cache entries back into the parent context
+        objects (only applies to executors that do not share memory).
+    """
+    owns_backend = not isinstance(executor, Executor)
+    backend = executor if isinstance(executor, Executor) \
+        else build_executor(executor if executor is not None else "auto",
+                            workers)
+    try:
+        shards = plan.shards(num_shards if num_shards is not None
+                             else backend.default_shards())
+        shard_results = sorted(backend.map_shards(shards),
+                               key=lambda result: result.index)
+    finally:
+        if owns_backend:
+            # A backend built for this one call must not leak its worker
+            # pool; caller-provided executors keep theirs for reuse.
+            backend.close()
+    if merge_caches and not backend.shares_memory:
+        parent_caches = collect_cache_bearers(plan.context)
+        for shard_result in shard_results:
+            for key, snapshot in shard_result.caches.items():
+                parent = parent_caches.get(key)
+                if parent is not None and parent is not snapshot:
+                    parent.merge(snapshot)
+    results = [result for shard_result in shard_results
+               for result in shard_result.results]
+    return reducer.reduce(results) if reducer is not None else results

@@ -1,0 +1,175 @@
+"""Monte-Carlo plans and deterministic shard specifications.
+
+Every quantitative result in this repository is a Monte-Carlo sweep: draw
+random blocks (or codewords, or latent samples), push them through a channel
+backend, and aggregate statistics.  A :class:`MonteCarloPlan` captures such a
+sweep as data — a picklable *task* applied to a sequence of *units*, a seed,
+and a shared *context* — so the same plan can run serially, across threads,
+or across worker processes with **bit-identical** results.
+
+Determinism is anchored per *unit*, not per shard: unit ``i`` always draws
+from ``np.random.SeedSequence(seed, spawn_key=(i,))`` no matter which shard
+(or worker process) executes it, and reducers consume the per-unit results in
+unit order.  Changing the executor or the worker count therefore never
+changes the numbers — only the wall-clock time.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.channel.cache import ConditionCache
+
+__all__ = ["MonteCarloPlan", "ShardSpec", "ShardResult", "stable_seed"]
+
+
+def stable_seed(*components: Any) -> tuple[int, ...]:
+    """Deterministic :class:`numpy.random.SeedSequence` entropy from values.
+
+    Non-negative integers pass through unchanged; everything else is hashed
+    with CRC-32 of its ``repr``, which — unlike Python's salted ``hash`` — is
+    stable across interpreter runs and worker processes.  Use this to derive
+    a plan seed from a condition tuple such as ``(seed, pe_cycles, metric)``.
+    """
+    entropy = []
+    for component in components:
+        if isinstance(component, (int, np.integer)) and component >= 0:
+            entropy.append(int(component))
+        else:
+            entropy.append(zlib.crc32(repr(component).encode()))
+    return tuple(entropy)
+
+
+def collect_cache_bearers(context: Mapping[str, Any]
+                          ) -> dict[str, ConditionCache]:
+    """Condition caches reachable from a plan context, keyed by context key.
+
+    A context value participates if it *is* a :class:`ConditionCache` or
+    carries one as its ``cache`` attribute (every
+    :class:`repro.channel.ChannelModel` does).  The engine uses this map to
+    fold per-worker cache entries back into the parent objects.
+    """
+    bearers: dict[str, ConditionCache] = {}
+    for key, value in context.items():
+        if isinstance(value, ConditionCache):
+            bearers[key] = value
+        else:
+            cache = getattr(value, "cache", None)
+            if isinstance(cache, ConditionCache):
+                bearers[key] = cache
+    return bearers
+
+
+@dataclass
+class ShardResult:
+    """Per-unit results (in unit order) and cache snapshots of one shard."""
+
+    index: int
+    start: int
+    results: list
+    caches: dict[str, ConditionCache] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A contiguous slice of a plan's units, runnable in any process.
+
+    The spec is self-contained and picklable: it carries the task, the shared
+    context, the plan seed and the global index of its first unit, so a
+    worker process reconstructs every unit's generator exactly as the serial
+    path would.
+    """
+
+    index: int
+    start: int
+    units: tuple
+    task: Callable[..., Any]
+    seed: tuple[int, ...]
+    context: Mapping[str, Any]
+
+    def unit_rng(self, offset: int) -> np.random.Generator:
+        """The generator of the unit at ``offset`` within this shard."""
+        sequence = np.random.SeedSequence(
+            self.seed, spawn_key=(self.start + offset,))
+        return np.random.default_rng(sequence)
+
+    def run(self, collect_caches: bool = False) -> ShardResult:
+        """Execute every unit of this shard in order.
+
+        ``collect_caches=True`` (used by process executors, whose shard runs
+        on a pickled copy of the context) resets the cache counters first so
+        the returned snapshots report this shard's activity only, then
+        attaches the caches for the engine to merge back into the parent.
+        """
+        caches = collect_cache_bearers(self.context) if collect_caches else {}
+        for cache in caches.values():
+            cache.reset_stats()
+        results = [self.task(unit, self.unit_rng(offset), **self.context)
+                   for offset, unit in enumerate(self.units)]
+        return ShardResult(index=self.index, start=self.start,
+                           results=results, caches=caches)
+
+
+@dataclass(frozen=True)
+class MonteCarloPlan:
+    """A Monte-Carlo sweep described as data.
+
+    Parameters
+    ----------
+    task:
+        A picklable callable ``task(unit, rng, **context) -> result``.  It
+        must draw all randomness from the passed generator — that is what
+        makes sharded execution bit-identical to serial.
+    units:
+        One entry per Monte-Carlo unit (block index, codeword group,
+        ``(pe, block)`` pair, ...).  Units are independent by construction.
+    seed:
+        :class:`numpy.random.SeedSequence` entropy (an int or a tuple of
+        ints, e.g. from :func:`stable_seed`).
+    context:
+        Keyword arguments shared by every task call (channel backends, code
+        objects, parameters).  Pickled once per shard, not once per unit.
+    """
+
+    task: Callable[..., Any]
+    units: tuple
+    seed: int | tuple[int, ...] = 0
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not callable(self.task):
+            raise TypeError("task must be callable")
+        object.__setattr__(self, "units", tuple(self.units))
+        if not self.units:
+            raise ValueError("a plan needs at least one unit")
+
+    @property
+    def num_units(self) -> int:
+        return len(self.units)
+
+    def unit_rng(self, index: int) -> np.random.Generator:
+        """The generator unit ``index`` receives under any sharding."""
+        if not 0 <= index < self.num_units:
+            raise IndexError(f"unit index {index} out of range")
+        sequence = np.random.SeedSequence(self.seed, spawn_key=(index,))
+        return np.random.default_rng(sequence)
+
+    def shards(self, num_shards: int = 1) -> list[ShardSpec]:
+        """Split the units into at most ``num_shards`` contiguous shards.
+
+        The split is deterministic and balanced (shard sizes differ by at
+        most one unit); because randomness is anchored per unit, the shard
+        count is a pure throughput knob.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        num_shards = min(num_shards, self.num_units)
+        bounds = np.linspace(0, self.num_units, num_shards + 1).astype(int)
+        return [ShardSpec(index=shard, start=int(bounds[shard]),
+                          units=self.units[bounds[shard]:bounds[shard + 1]],
+                          task=self.task, seed=self.seed, context=self.context)
+                for shard in range(num_shards)]

@@ -1,0 +1,134 @@
+"""Mergeable reducers for the three Monte-Carlo result shapes.
+
+The sweeps in this repository produce exactly three kinds of per-unit
+results, each with its own reducer:
+
+* **error-count tallies** — congruent numeric structures (numbers, arrays,
+  dicts of either) summed elementwise: :class:`TallyReducer`, and its
+  averaged variant :class:`MeanReducer`;
+* **frame-error records** — per-unit record rows concatenated in unit order:
+  :class:`RecordReducer`;
+* **histogram / pattern statistics** — nested dicts whose key sets may
+  differ between units (a pattern that never erred in one shard), merged by
+  key union with numeric leaves summed: :class:`HistogramReducer`.
+
+All reducers consume the flat per-unit result list *in unit order*, which the
+engine guarantees regardless of sharding — so a reduction is bit-identical
+for any executor and worker count.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Reducer", "TallyReducer", "MeanReducer", "RecordReducer",
+           "HistogramReducer"]
+
+
+class Reducer:
+    """Base class: fold an ordered sequence of per-unit results into one."""
+
+    def reduce(self, results: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+
+def _tally_add(left: Any, right: Any) -> Any:
+    """Elementwise sum of two congruent result structures."""
+    if isinstance(left, dict):
+        if set(left) != set(right):
+            raise ValueError("tally results must share their key sets; use "
+                             "HistogramReducer for key-union merging")
+        return {key: _tally_add(left[key], right[key]) for key in left}
+    if isinstance(left, (list, tuple)):
+        if len(left) != len(right):
+            raise ValueError("tally results must share their lengths")
+        return type(left)(_tally_add(a, b) for a, b in zip(left, right))
+    return left + right
+
+
+def _scale(value: Any, factor: float) -> Any:
+    if isinstance(value, dict):
+        return {key: _scale(entry, factor) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_scale(entry, factor) for entry in value)
+    return value * factor
+
+
+class TallyReducer(Reducer):
+    """Sum congruent numeric structures (the error-count tally shape)."""
+
+    def reduce(self, results: Sequence[Any]) -> Any:
+        if not results:
+            raise ValueError("cannot reduce an empty result list")
+        total = results[0]
+        for result in results[1:]:
+            total = _tally_add(total, result)
+        return total
+
+
+class MeanReducer(TallyReducer):
+    """Arithmetic mean of congruent numeric structures."""
+
+    def reduce(self, results: Sequence[Any]) -> Any:
+        return _scale(super().reduce(results), 1.0 / len(results))
+
+
+class RecordReducer(Reducer):
+    """Concatenate per-unit records in unit order (frame-error records).
+
+    Each per-unit result may be a single record or a batch of records (a
+    list/tuple, or an array whose leading axis indexes records).  With
+    ``stack=True`` the flattened records are returned as one contiguous
+    :class:`numpy.ndarray` via :func:`numpy.concatenate`.
+    """
+
+    def __init__(self, stack: bool = False):
+        self.stack = stack
+
+    def reduce(self, results: Sequence[Any]) -> Any:
+        if not results:
+            raise ValueError("cannot reduce an empty result list")
+        if self.stack:
+            return np.concatenate([np.atleast_1d(np.asarray(result))
+                                   for result in results])
+        records: list[Any] = []
+        for result in results:
+            if isinstance(result, (list, tuple)):
+                records.extend(result)
+            else:
+                records.append(result)
+        return records
+
+
+def _histogram_merge(left: Any, right: Any) -> Any:
+    """Key-union merge with numeric leaves summed."""
+    if isinstance(left, dict) and isinstance(right, dict):
+        merged = {}
+        for key in (*left, *(k for k in right if k not in left)):
+            if key in left and key in right:
+                merged[key] = _histogram_merge(left[key], right[key])
+            else:
+                merged[key] = left[key] if key in left else right[key]
+        return merged
+    if isinstance(left, dict) or isinstance(right, dict):
+        raise ValueError("cannot merge a dict with a non-dict histogram leaf")
+    if isinstance(left, (Number, np.ndarray)) \
+            and isinstance(right, (Number, np.ndarray)):
+        return left + right
+    raise ValueError(f"unsupported histogram leaves: {type(left).__name__} "
+                     f"and {type(right).__name__}")
+
+
+class HistogramReducer(Reducer):
+    """Merge nested count dicts by key union (histogram/pattern statistics)."""
+
+    def reduce(self, results: Sequence[Any]) -> Any:
+        if not results:
+            raise ValueError("cannot reduce an empty result list")
+        merged = results[0]
+        for result in results[1:]:
+            merged = _histogram_merge(merged, result)
+        return merged

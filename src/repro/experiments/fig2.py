@@ -13,9 +13,11 @@ import numpy as np
 
 from repro.channel import resolve_channel
 from repro.eval.report import format_table
-from repro.experiments.common import PAPER_PE_CYCLES
-from repro.flash import level_error_rate, top_error_pattern_counts
+from repro.exec import HistogramReducer, stable_seed
+from repro.experiments.common import PAPER_PE_CYCLES, sweep
+from repro.flash import top_error_pattern_counts
 from repro.flash.patterns import BITLINE, TOP_ERROR_PATTERNS
+from repro.flash.thresholds import default_read_thresholds, hard_read
 
 __all__ = ["Fig2Result", "run_fig2"]
 
@@ -55,32 +57,56 @@ class Fig2Result:
         ])
 
 
+def _fig2_block_task(unit, rng, *, channel):
+    """Error statistics of one random block at one P/E count — plan task."""
+    pe, _block_index = unit
+    program, voltages = channel.paired_blocks(1, pe, rng=rng)
+    hard_levels = hard_read(voltages,
+                            default_read_thresholds(channel.params))
+    counts = top_error_pattern_counts(program, voltages,
+                                      params=channel.params)
+    return {int(pe): {
+        "errors": int(np.count_nonzero(hard_levels != program)),
+        "cells": int(program.size),
+        "patterns": {key: int(value) for key, value in counts.items()},
+    }}
+
+
 def run_fig2(channel=None,
              pe_cycles: tuple[int, ...] = PAPER_PE_CYCLES,
              blocks_per_pe: int = 60,
-             rng: np.random.Generator | None = None) -> Fig2Result:
+             rng: np.random.Generator | None = None,
+             executor=None, workers: int | None = None) -> Fig2Result:
     """Regenerate Fig. 2 from any channel backend.
 
     ``channel`` defaults to the simulator ("measured" data) and accepts any
     registered backend name or channel model, so the same driver profiles a
-    trained generative network's spatio-temporal error statistics.
+    trained generative network's spatio-temporal error statistics.  The
+    sweep runs one plan unit per (P/E count, block) pair on the sharded
+    engine; ``executor``/``workers`` scale it with bit-identical results.
     """
     if blocks_per_pe < 1:
         raise ValueError("blocks_per_pe must be positive")
     channel = resolve_channel(
         channel if channel is not None else "simulator",
         rng=rng if rng is not None else np.random.default_rng(0))
+    seed = int(channel.rng.integers(0, 2 ** 31))
+
+    units = [(int(pe), block) for pe in pe_cycles
+             for block in range(blocks_per_pe)]
+    merged = sweep(_fig2_block_task, units,
+                   seed=stable_seed("fig2", seed),
+                   context={"channel": channel},
+                   reducer=HistogramReducer(),
+                   executor=executor, workers=workers)
 
     raw: dict[tuple[str, str], dict[int, int]] = {key: {}
                                                   for key in TOP_ERROR_PATTERNS}
     rates: dict[int, float] = {}
     for pe in pe_cycles:
-        program, voltages = channel.paired_blocks(blocks_per_pe, pe)
-        rates[int(pe)] = level_error_rate(program, voltages,
-                                          params=channel.params)
-        counts = top_error_pattern_counts(program, voltages,
-                                          params=channel.params)
-        for key, value in counts.items():
+        by_pe = merged[int(pe)]
+        rates[int(pe)] = by_pe["errors"] / by_pe["cells"]
+        for key, value in by_pe["patterns"].items():
             raw[key][int(pe)] = int(value)
 
     reference = raw[("707", BITLINE)].get(int(pe_cycles[0]), 0)

@@ -18,6 +18,8 @@ from repro.channel import ChannelModel, build_channel, resolve_channel
 from repro.data.dataset import FlashChannelDataset
 from repro.eval.error_counts import error_counts_from_samples
 from repro.eval.report import format_table
+from repro.exec import HistogramReducer, stable_seed
+from repro.experiments.common import sweep
 from repro.flash.params import FlashParameters
 
 __all__ = ["Fig5Result", "run_fig5"]
@@ -58,12 +60,29 @@ class Fig5Result:
         return "\n".join([header, format_table(self.rows())])
 
 
+def _fig5_count_task(unit, rng, *, channels, params):
+    """Stacked error counts of one (P/E, model) pair — plan task.
+
+    The unit carries its evaluation arrays; units of one shard sharing a
+    P/E count pickle those arrays once (pickle memoizes shared objects).
+    """
+    pe, label, program, voltages = unit
+    if label == "M":
+        sampled = voltages
+    else:
+        sampled = channels[label].read_voltages(program, pe, rng=rng)
+    counts = error_counts_from_samples(program, sampled,
+                                       params=params).astype(float)
+    return {int(pe): {label: counts}}
+
+
 def run_fig5(training_dataset: FlashChannelDataset,
              evaluation_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
              generative_model=None,
              params: FlashParameters | None = None,
              baseline_iterations: int = 250,
-             rng: np.random.Generator | None = None) -> Fig5Result:
+             rng: np.random.Generator | None = None,
+             executor=None, workers: int | None = None) -> Fig5Result:
     """Regenerate Fig. 5.
 
     Parameters
@@ -79,6 +98,10 @@ def run_fig5(training_dataset: FlashChannelDataset,
         'cV-G' bars.
     baseline_iterations:
         Nelder-Mead budget per (level, P/E) fit.
+    executor / workers:
+        Execution backend for the (P/E, model) sweep
+        (:func:`repro.exec.build_executor`); results are bit-identical for
+        any choice.
     """
     params = params if params is not None else FlashParameters()
     generator = rng if rng is not None else np.random.default_rng(0)
@@ -94,16 +117,16 @@ def run_fig5(training_dataset: FlashChannelDataset,
             model_class.family, dataset=training_dataset, params=params,
             rng=generator, fit_iterations=baseline_iterations)
 
-    counts: dict[int, dict[str, np.ndarray]] = {}
-    for pe, (program, voltages) in sorted(evaluation_arrays.items()):
-        by_model: dict[str, np.ndarray] = {}
-        by_model["M"] = error_counts_from_samples(program, voltages,
-                                                  params=params).astype(float)
-        for label, channel in channels.items():
-            sampled = channel.read_voltages(program, pe)
-            by_model[label] = error_counts_from_samples(
-                program, sampled, params=params).astype(float)
-        counts[int(pe)] = by_model
+    seed = int(generator.integers(0, 2 ** 31))
+    units = [(int(pe), label, *evaluation_arrays[pe])
+             for pe in sorted(evaluation_arrays)
+             for label in ("M", *channels)]
+    counts: dict[int, dict[str, np.ndarray]] = sweep(
+        _fig5_count_task, units,
+        seed=stable_seed("fig5", seed),
+        context=dict(channels=channels, params=params),
+        reducer=HistogramReducer(),
+        executor=executor, workers=workers)
 
     first_pe = min(counts)
     reference_total = float(counts[first_pe]["M"].sum())

@@ -16,6 +16,8 @@ from repro.core import ModelConfig, Trainer, build_model
 from repro.data.dataset import FlashChannelDataset
 from repro.eval.divergences import distribution_distance
 from repro.eval.report import format_table
+from repro.exec import HistogramReducer, stable_seed
+from repro.experiments.common import sweep
 from repro.flash.params import FlashParameters
 
 __all__ = ["Remark3Result", "run_remark3"]
@@ -55,14 +57,44 @@ class Remark3Result:
         return "\n".join([header, format_table(self.rows()), footer])
 
 
+def _remark3_architecture_task(unit, rng, *, training_dataset,
+                               evaluation_arrays, config, epochs, params):
+    """Train one architecture and measure its dTV per P/E count — plan task.
+
+    The unit generator is split into independent init/train/sample streams,
+    mirroring how :class:`repro.experiments.ExperimentSetup` derives its
+    component generators from one root seed.
+    """
+    name = unit
+    init_rng, train_rng, sample_rng = (
+        np.random.default_rng(int(rng.integers(0, 2 ** 63)))
+        for _ in range(3))
+    model = build_model(name, config, rng=init_rng)
+    trainer = Trainer(model, training_dataset, params=params, rng=train_rng)
+    trainer.train(epochs=epochs)
+    backend = GenerativeChannel(model, params=params, rng=sample_rng)
+    distances: dict[int, float] = {}
+    for pe, (program, voltages) in sorted(evaluation_arrays.items()):
+        generated = backend.read_voltages(program, pe)
+        distances[int(pe)] = distribution_distance(
+            voltages, generated,
+            voltage_range=(params.voltage_min, params.voltage_max))
+    return {name: distances}
+
+
 def run_remark3(training_dataset: FlashChannelDataset,
                 evaluation_arrays: dict[int, tuple[np.ndarray, np.ndarray]],
                 config: ModelConfig,
                 architectures: tuple[str, ...] = REMARK3_ARCHITECTURES,
                 epochs: int | None = None,
                 params: FlashParameters | None = None,
-                seed: int = 0) -> Remark3Result:
+                seed: int = 0,
+                executor=None, workers: int | None = None) -> Remark3Result:
     """Train every architecture on the same data and compare dTV.
+
+    Each architecture is one unit of an engine plan, so a pool executor
+    trains the comparison candidates concurrently — the heaviest
+    embarrassingly-parallel sweep in the repository.
 
     Parameters
     ----------
@@ -74,21 +106,17 @@ def run_remark3(training_dataset: FlashChannelDataset,
         Model configuration (shared by all architectures, as in the paper).
     epochs:
         Training epochs per architecture (defaults to the configuration's).
+    executor / workers:
+        Execution backend for the per-architecture sweep
+        (:func:`repro.exec.build_executor`).
     """
     params = params if params is not None else FlashParameters()
-    distances: dict[str, dict[int, float]] = {}
-    for index, name in enumerate(architectures):
-        model = build_model(name, config,
-                            rng=np.random.default_rng(seed + index))
-        trainer = Trainer(model, training_dataset, params=params,
-                          rng=np.random.default_rng(seed + 100 + index))
-        trainer.train(epochs=epochs)
-        backend = GenerativeChannel(
-            model, params=params, rng=np.random.default_rng(seed + 200 + index))
-        distances[name] = {}
-        for pe, (program, voltages) in sorted(evaluation_arrays.items()):
-            generated = backend.read_voltages(program, pe)
-            distances[name][int(pe)] = distribution_distance(
-                voltages, generated,
-                voltage_range=(params.voltage_min, params.voltage_max))
+    distances: dict[str, dict[int, float]] = sweep(
+        _remark3_architecture_task, architectures,
+        seed=stable_seed("remark3", seed),
+        context=dict(training_dataset=training_dataset,
+                     evaluation_arrays=evaluation_arrays, config=config,
+                     epochs=epochs, params=params),
+        reducer=HistogramReducer(),
+        executor=executor, workers=workers)
     return Remark3Result(tv_distances=distances)

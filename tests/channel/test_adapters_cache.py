@@ -26,7 +26,8 @@ class TestConditionCache:
         for _ in range(3):
             cache.get_or_compute("key", lambda: calls.append(1) or len(calls))
         assert calls == [1]
-        assert cache.stats == {"hits": 2, "misses": 1, "size": 1}
+        assert cache.stats() == {"hits": 2, "misses": 1, "merges": 0,
+                                 "merged_entries": 0, "size": 1}
 
     def test_lru_eviction(self):
         cache = ConditionCache(maxsize=2)
@@ -47,11 +48,101 @@ class TestConditionCache:
         cache = ConditionCache()
         cache.get_or_compute("a", lambda: 1)
         cache.clear()
-        assert len(cache) == 0 and cache.stats["hits"] == 0
+        assert len(cache) == 0 and cache.stats()["hits"] == 0
 
     def test_rejects_negative_size(self):
         with pytest.raises(ValueError):
             ConditionCache(maxsize=-1)
+
+    def test_failed_compute_does_not_poison_the_key(self):
+        cache = ConditionCache(maxsize=4)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert "k" not in cache and len(cache) == 0
+        assert cache.get_or_compute("k", lambda: 7) == 7
+        assert cache.stats()["misses"] == 2
+
+    def test_reentrant_compute_fails_fast(self):
+        cache = ConditionCache(maxsize=4)
+        with pytest.raises(RuntimeError, match="reentrant"):
+            cache.get_or_compute(
+                "k", lambda: cache.get_or_compute("k", lambda: 1))
+        # The failed reservation is cleaned up; the key stays computable.
+        assert cache.get_or_compute("k", lambda: 2) == 2
+
+    def test_concurrent_same_key_computes_do_not_raise(self):
+        """Another thread computing the same key is concurrency, not
+        reentrancy: both must compute successfully (duplicate work is fine,
+        a crash is not)."""
+        import threading
+
+        cache = ConditionCache(maxsize=4)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            started.set()
+            release.wait(timeout=5)
+            return "slow"
+
+        errors = []
+
+        def racer():
+            started.wait(timeout=5)
+            try:
+                cache.get_or_compute("k", lambda: "fast")
+            except BaseException as error:  # pragma: no cover - fail path
+                errors.append(error)
+            finally:
+                release.set()
+
+        thread = threading.Thread(target=racer)
+        thread.start()
+        value = cache.get_or_compute("k", slow_compute)
+        thread.join(timeout=5)
+        assert not errors
+        assert value == "slow"
+
+    def test_merge_adopts_new_entries_and_counts(self):
+        parent, worker = ConditionCache(maxsize=8), ConditionCache(maxsize=8)
+        parent.get_or_compute("shared", lambda: "parent")
+        worker.get_or_compute("shared", lambda: "worker")
+        worker.get_or_compute("fresh", lambda: 3)
+        adopted = parent.merge(worker)
+        assert adopted == 1
+        assert parent.get_or_compute("fresh", lambda: None) == 3
+        # Parent wins on conflicts (deterministic computes agree anyway).
+        assert parent.get_or_compute("shared", lambda: None) == "parent"
+        stats = parent.stats()
+        assert stats["merges"] == 1 and stats["merged_entries"] == 1
+        # Worker activity is folded into the parent's counters.
+        assert stats["misses"] == 1 + 2
+
+    def test_merge_respects_lru_capacity(self):
+        parent, worker = ConditionCache(maxsize=2), ConditionCache(maxsize=4)
+        parent.get_or_compute("old", lambda: 0)
+        parent.get_or_compute("recent", lambda: 1)
+        for key in ("w1", "w2"):
+            worker.get_or_compute(key, lambda: key)
+        parent.merge(worker)
+        # Capacity 2: the worker's most recent entry survives alongside the
+        # last inserted; the parent's stale entries were evicted first.
+        assert len(parent) == 2 and "w2" in parent
+
+    def test_merge_refreshes_conflict_recency(self):
+        parent, worker = ConditionCache(maxsize=2), ConditionCache(maxsize=2)
+        parent.get_or_compute("a", lambda: 1)
+        parent.get_or_compute("b", lambda: 2)
+        worker.get_or_compute("a", lambda: 1)
+        parent.merge(worker)
+        parent.get_or_compute("c", lambda: 3)   # evicts "b", not "a"
+        assert "a" in parent and "b" not in parent
+
+    def test_merge_rejects_self(self):
+        cache = ConditionCache()
+        with pytest.raises(ValueError):
+            cache.merge(cache)
 
 
 class TestTiling:

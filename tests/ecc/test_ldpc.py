@@ -270,3 +270,53 @@ class TestBitFlippingDecoder:
     def test_shape_validation(self, code):
         with pytest.raises(ValueError):
             code.decode_bit_flipping(np.zeros(3, dtype=int))
+
+
+class TestBatchOperations:
+    """The batch encode/syndrome/decode paths must match the scalar ones."""
+
+    def test_encode_batch_matches_scalar(self, code):
+        rng = np.random.default_rng(20)
+        messages = rng.integers(0, 2, size=(9, code.k))
+        batch = code.encode_batch(messages)
+        reference = np.stack([code.encode(message) for message in messages])
+        np.testing.assert_array_equal(batch, reference)
+
+    def test_encode_batch_validation(self, code):
+        with pytest.raises(ValueError):
+            code.encode_batch(np.zeros((2, code.k + 1), dtype=int))
+        with pytest.raises(ValueError):
+            code.encode_batch(np.zeros(code.k, dtype=int))
+
+    def test_syndrome_batch_matches_scalar(self, code):
+        rng = np.random.default_rng(21)
+        words = rng.integers(0, 2, size=(5, code.n))
+        batch = code.syndrome_batch(words)
+        reference = np.stack([code.syndrome(word) for word in words])
+        np.testing.assert_array_equal(batch, reference)
+        with pytest.raises(ValueError):
+            code.syndrome_batch(np.zeros(code.n, dtype=int))
+
+    def test_decode_batch_bit_identical_to_scalar(self, code):
+        """Across noise levels spanning clean to failing decodes."""
+        rng = np.random.default_rng(22)
+        for noise_sigma in (0.3, 0.7, 1.1):
+            messages = rng.integers(0, 2, size=(6, code.k))
+            codewords = code.encode_batch(messages)
+            llrs = np.stack([_bpsk_llrs(codeword, noise_sigma, rng)
+                             for codeword in codewords])
+            batch = code.decode_min_sum_batch(llrs, max_iterations=15)
+            for index in range(len(codewords)):
+                scalar = code.decode_min_sum(llrs[index], max_iterations=15)
+                assert batch[index].success == scalar.success
+                assert batch[index].iterations == scalar.iterations
+                np.testing.assert_array_equal(batch[index].codeword,
+                                              scalar.codeword)
+                np.testing.assert_array_equal(batch[index].message,
+                                              scalar.message)
+
+    def test_decode_batch_validation(self, code):
+        with pytest.raises(ValueError):
+            code.decode_min_sum_batch(np.zeros(code.n))
+        with pytest.raises(ValueError):
+            code.decode_min_sum_batch(np.zeros((2, code.n)), scale=0.0)

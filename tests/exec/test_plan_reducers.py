@@ -1,0 +1,136 @@
+"""Unit tests for Monte-Carlo plans, shard splitting and reducers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    HistogramReducer,
+    MeanReducer,
+    MonteCarloPlan,
+    RecordReducer,
+    TallyReducer,
+    stable_seed,
+)
+
+
+def _draw(unit, rng, *, offset=0.0):
+    return float(rng.random()) + offset
+
+
+class TestStableSeed:
+    def test_non_negative_ints_pass_through(self):
+        assert stable_seed(3, 7000) == (3, 7000)
+
+    def test_other_values_hash_deterministically(self):
+        assert stable_seed("fig2", None) == stable_seed("fig2", None)
+        assert stable_seed(4000.0) != stable_seed(7000.0)
+        assert stable_seed(-1) == stable_seed(-1)
+
+    def test_distinct_components_distinct_entropy(self):
+        assert stable_seed("level") != stable_seed("erased")
+
+
+class TestMonteCarloPlan:
+    def test_rejects_empty_units_and_non_callables(self):
+        with pytest.raises(ValueError):
+            MonteCarloPlan(task=_draw, units=())
+        with pytest.raises(TypeError):
+            MonteCarloPlan(task=42, units=(1,))
+
+    def test_unit_rng_is_per_unit_deterministic(self):
+        plan = MonteCarloPlan(task=_draw, units=tuple(range(4)), seed=9)
+        first = plan.unit_rng(2).random()
+        again = plan.unit_rng(2).random()
+        other = plan.unit_rng(3).random()
+        assert first == again
+        assert first != other
+        with pytest.raises(IndexError):
+            plan.unit_rng(4)
+
+    def test_shards_cover_units_contiguously(self):
+        plan = MonteCarloPlan(task=_draw, units=tuple(range(7)), seed=0)
+        shards = plan.shards(3)
+        assert [shard.units for shard in shards] == [(0, 1), (2, 3),
+                                                     (4, 5, 6)]
+        assert [shard.start for shard in shards] == [0, 2, 4]
+
+    def test_shard_count_clamped_to_units(self):
+        plan = MonteCarloPlan(task=_draw, units=(0, 1), seed=0)
+        assert len(plan.shards(8)) == 2
+        with pytest.raises(ValueError):
+            plan.shards(0)
+
+    def test_sharding_is_a_pure_throughput_knob(self):
+        """Per-unit streams are identical for every shard layout."""
+        plan = MonteCarloPlan(task=_draw, units=tuple(range(10)), seed=5)
+        layouts = []
+        for num_shards in (1, 2, 3, 10):
+            results = []
+            for shard in plan.shards(num_shards):
+                results.extend(shard.run().results)
+            layouts.append(results)
+        for layout in layouts[1:]:
+            assert layout == layouts[0]
+
+    def test_context_reaches_the_task(self):
+        plan = MonteCarloPlan(task=_draw, units=(0,), seed=0,
+                              context={"offset": 10.0})
+        assert plan.shards(1)[0].run().results[0] > 10.0
+
+
+class TestTallyAndMeanReducers:
+    def test_tally_sums_nested_structures(self):
+        results = [{"errors": 1, "counts": np.array([1, 0])},
+                   {"errors": 2, "counts": np.array([0, 3])}]
+        total = TallyReducer().reduce(results)
+        assert total["errors"] == 3
+        np.testing.assert_array_equal(total["counts"], [1, 3])
+
+    def test_tally_rejects_mismatched_keys_and_empty(self):
+        with pytest.raises(ValueError):
+            TallyReducer().reduce([{"a": 1}, {"b": 2}])
+        with pytest.raises(ValueError):
+            TallyReducer().reduce([])
+
+    def test_mean_divides_by_unit_count(self):
+        assert MeanReducer().reduce([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_matches_numpy_mean_of_scalars(self):
+        values = list(np.random.default_rng(0).random(9))
+        assert MeanReducer().reduce(values) == pytest.approx(np.mean(values))
+
+
+class TestRecordReducer:
+    def test_flattens_per_unit_record_lists(self):
+        assert RecordReducer().reduce([[1, 2], 3, (4,)]) == [1, 2, 3, 4]
+
+    def test_stack_concatenates_arrays_in_unit_order(self):
+        groups = [np.arange(6).reshape(2, 3), np.arange(6, 9).reshape(1, 3)]
+        stacked = RecordReducer(stack=True).reduce(groups)
+        np.testing.assert_array_equal(stacked, np.arange(9).reshape(3, 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RecordReducer().reduce([])
+
+
+class TestHistogramReducer:
+    def test_key_union_with_summed_leaves(self):
+        merged = HistogramReducer().reduce([
+            {4000: {"a": 1, "shared": np.array([1.0, 0.0])}},
+            {4000: {"b": 2, "shared": np.array([0.0, 2.0])}},
+            {7000: {"a": 5}},
+        ])
+        assert merged[4000]["a"] == 1 and merged[4000]["b"] == 2
+        np.testing.assert_array_equal(merged[4000]["shared"], [1.0, 2.0])
+        assert merged[7000] == {"a": 5}
+
+    def test_rejects_dict_vs_leaf_conflicts(self):
+        with pytest.raises(ValueError):
+            HistogramReducer().reduce([{"a": {"x": 1}}, {"a": 2}])
+
+    def test_rejects_unsupported_leaves(self):
+        with pytest.raises(ValueError):
+            HistogramReducer().reduce([{"a": "x"}, {"a": "y"}])
