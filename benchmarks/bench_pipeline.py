@@ -14,7 +14,10 @@ reports the throughput of every backend family:
 
 It also measures the per-condition LRU cache on repeated density-table
 queries.  Results are written to ``benchmarks/results/pipeline.json`` so CI
-can track the throughput trajectory across PRs.
+can track the throughput trajectory across PRs: the per-backend keys hold
+the latest run and ``pipeline_series`` accumulates one entry per run, with
+cross-PR regression alerting against the tracked history (same-sized hosts
+only; see :func:`results_io.check_series_regression`).
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_pipeline.py``) or
 through pytest.
@@ -23,12 +26,18 @@ through pytest.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from results_io import merge_results
+from results_io import (
+    check_series_regression,
+    load_results,
+    merge_results,
+    series_entry,
+)
 
 #: Workload of the generative comparison: ``ARRAYS`` model-size arrays read
 #: ``SAMPLES`` times each (the paper's repeated-latent evaluation protocol).
@@ -152,11 +161,29 @@ def run_pipeline_benchmark(repeats: int = 3) -> dict:
 def write_results(results: dict) -> Path:
     """Merge this run's entries into the tracked throughput file.
 
-    The file is shared with other benchmarks (``bench_exec.py`` keeps its
-    sharded-execution series there), so existing keys this benchmark does
-    not produce are preserved.
+    The file is shared with other benchmarks (``bench_exec.py`` and
+    ``bench_training.py`` keep their series there), so existing keys this
+    benchmark does not produce are preserved.  Alongside the latest-run
+    keys, one ``pipeline_series`` entry per run accumulates the per-backend
+    throughput for cross-PR tracking.
     """
-    return merge_results(results)
+    series = load_results().get("pipeline_series", [])
+    series.append(series_entry(os.cpu_count() or 1, {
+        "simulator_vps": results["simulator"]["voltages_per_second"],
+        "generative_batched_vps":
+            results["generative_batched"]["voltages_per_second"],
+        "baseline_gaussian_vps":
+            results["baseline_gaussian"]["voltages_per_second"],
+        "generative_batching_speedup":
+            results["generative_batching_speedup"],
+    }))
+    return merge_results({**results, "pipeline_series": series})
+
+
+def check_pipeline_series() -> list[str]:
+    """Cross-PR regression alerts for the tracked per-backend series."""
+    return check_series_regression(
+        load_results().get("pipeline_series", []))
 
 
 def test_pipeline_throughput():
@@ -169,6 +196,8 @@ def test_pipeline_throughput():
     results = run_pipeline_benchmark()
     path = write_results(results)
     print(f"\n--- {path} ---\n{json.dumps(results, indent=2)}\n")
+    for alert in check_pipeline_series():
+        print(f"WARNING pipeline series regression: {alert}")
     assert results["generative_batched"]["voltages_per_second"] > 0
     assert results["generative_batching_speedup"] >= 3.0
     assert results["condition_cache"]["hits"] >= 1
@@ -182,6 +211,14 @@ def main() -> None:
     if results["generative_batching_speedup"] < 3.0:
         raise SystemExit("batched generative path is less than 3x faster "
                          "than the per-array loop")
+    alerts = check_pipeline_series()
+    if (os.cpu_count() or 1) < 2:
+        # Single-core runners are typically oversubscribed CI shares whose
+        # timings are too noisy to gate on: record and warn only.
+        for alert in alerts:
+            print(f"WARNING pipeline series regression: {alert}")
+    elif alerts:
+        raise SystemExit("pipeline series regression: " + "; ".join(alerts))
 
 
 if __name__ == "__main__":

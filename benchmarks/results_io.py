@@ -1,20 +1,26 @@
 """Shared access to the tracked throughput file ``results/pipeline.json``.
 
 Several benchmarks report into one file — ``bench_pipeline.py`` owns the
-per-backend channel throughput keys, ``bench_exec.py`` the sharded-execution
-``exec`` / ``exec_series`` keys — so every writer must merge, never
-overwrite: read the current contents, update its own top-level keys, write
-the result back.  This module is that single read-merge-write path.
+per-backend channel throughput keys (latest run + ``pipeline_series``),
+``bench_exec.py`` the sharded-execution ``exec`` / ``exec_series`` keys and
+``bench_training.py`` the precision ladder ``train`` / ``train_series`` keys
+— so every writer must merge, never overwrite: read the current contents,
+update its own top-level keys, write the result back.  This module is that
+single read-merge-write path, plus the shared cross-PR series helpers
+(append one entry per run, alert when the newest entry regresses against
+the tracked history).
 """
 
 from __future__ import annotations
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 RESULTS_PATH = Path(__file__).parent / "results" / "pipeline.json"
 
-__all__ = ["RESULTS_PATH", "load_results", "merge_results"]
+__all__ = ["RESULTS_PATH", "load_results", "merge_results",
+           "series_entry", "check_series_regression"]
 
 
 def load_results() -> dict:
@@ -31,3 +37,48 @@ def merge_results(updates: dict) -> Path:
     data.update(updates)
     RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
     return RESULTS_PATH
+
+
+def series_entry(cpu_count: int, metrics: dict) -> dict:
+    """One tracked-series entry: UTC date + host size + flat metric dict."""
+    return {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "cpu_count": int(cpu_count),
+        "metrics": {key: round(float(value), 3)
+                    for key, value in metrics.items()},
+    }
+
+
+def check_series_regression(series: list[dict], factor: float = 0.5,
+                            window: int = 5) -> list[str]:
+    """Cross-PR regression alerts for a tracked metric series.
+
+    Compares the newest entry's metrics against the median of up to
+    ``window`` preceding entries recorded on hosts with the same
+    ``cpu_count`` (timings from differently-sized runners are not
+    comparable).  A metric regresses when it falls below ``factor`` times
+    its historical median — loose enough to absorb run-to-run noise, tight
+    enough to flag a real throughput loss across PRs.  Entries from older
+    formats (without a ``metrics`` dict) are ignored.
+    """
+    entries = [entry for entry in series if "metrics" in entry]
+    if len(entries) < 2:
+        return []
+    current = entries[-1]
+    history = [entry for entry in entries[:-1]
+               if entry.get("cpu_count") == current.get("cpu_count")]
+    history = history[-window:]
+    if not history:
+        return []
+    alerts = []
+    for key, value in current["metrics"].items():
+        baseline = sorted(entry["metrics"][key] for entry in history
+                          if key in entry["metrics"])
+        if not baseline:
+            continue
+        median = baseline[len(baseline) // 2]
+        if median > 0 and value < factor * median:
+            alerts.append(f"{key}: {value:.3f} is below {factor:.0%} of the "
+                          f"tracked median {median:.3f} "
+                          f"({len(baseline)} prior runs)")
+    return alerts

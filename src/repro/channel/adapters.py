@@ -169,8 +169,15 @@ class GenerativeChannel(ChannelModel):
 
     def _sample_tiles(self, tiles: np.ndarray, pe_cycles: float,
                       rng: np.random.Generator) -> np.ndarray:
-        """One chunked, vectorized sampling pass over model-size tiles."""
+        """One chunked, vectorized sampling pass over model-size tiles.
+
+        The normalised tile stack is cast to the model's working dtype once
+        here (float32 by default), so every chunked forward pass runs at
+        that precision without per-chunk conversions; the physical-unit
+        output below is float64 like every other channel backend.
+        """
         normalized = self.level_normalizer.normalize(tiles)[:, None]
+        normalized = normalized.astype(self.model.dtype, copy=False)
         pe_value = float(self.pe_normalizer.normalize(pe_cycles))
         outputs = []
         for start in range(0, len(normalized), self.chunk_size):

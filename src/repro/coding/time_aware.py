@@ -126,12 +126,15 @@ def constraint_tradeoff_curve(channel, pe_cycles: float,
     channel = resolve_channel(channel)
     if seed is None:
         seed = int(channel.rng.integers(0, 2 ** 31))
-    # Resolve the executor once so a pool's workers serve every constraint.
+    # Resolve the executor once so a pool's workers serve every constraint —
+    # also when only ``workers`` is given, where leaving it unresolved would
+    # make run_plan build and tear down a fresh pool per operating point.
     from repro.exec import Executor, build_executor
 
-    owns_backend = executor is not None and not isinstance(executor, Executor)
-    backend = build_executor(executor, workers) if executor is not None \
-        else None
+    resolve = executor is not None or workers is not None
+    owns_backend = resolve and not isinstance(executor, Executor)
+    backend = build_executor(executor if executor is not None else "auto",
+                             workers) if resolve else None
     try:
         points = [ConstraintOperatingPoint(
             pe_cycles=float(pe_cycles), high_level=None,
@@ -213,12 +216,16 @@ class TimeAwareCodeSelector:
         if self.metric not in ERROR_METRICS:
             raise ValueError(f"metric must be one of {ERROR_METRICS}")
         self.channel = resolve_channel(self.channel)
-        if self.executor is not None:
+        if self.executor is not None or self.workers is not None:
             # Resolve once: a pool executor then keeps its workers across
-            # every (P/E, constraint) measurement of a schedule.
+            # every (P/E, constraint) measurement of a schedule (also when
+            # only ``workers`` is given, which would otherwise rebuild a
+            # pool per measurement).
             from repro.exec import build_executor
 
-            self.executor = build_executor(self.executor, self.workers)
+            self.executor = build_executor(
+                self.executor if self.executor is not None else "auto",
+                self.workers)
 
     def _error_rate(self, pe_cycles: float, high_level: int | None) -> float:
         code = None if high_level is None \

@@ -64,8 +64,14 @@ class ConditionalGenerativeModel(Module):
     # Sampling
     # ------------------------------------------------------------------ #
     def prior_latent(self, batch: int, rng: np.random.Generator) -> Tensor:
-        """Latent vectors drawn from the standard Gaussian prior."""
-        return Tensor(rng.standard_normal((batch, self.config.latent_dim)))
+        """Latent vectors drawn from the standard Gaussian prior.
+
+        Draws are taken in float64 and cast to the model dtype, so a
+        float32 model consumes the rounded values of the exact same stream
+        a float64 model would.
+        """
+        sample = rng.standard_normal((batch, self.config.latent_dim))
+        return Tensor(sample.astype(self.dtype, copy=False))
 
     def sample(self, program_levels: np.ndarray, pe_normalized: np.ndarray,
                rng: np.random.Generator,
@@ -84,6 +90,7 @@ class ConditionalGenerativeModel(Module):
             Optional fixed latent vectors of shape ``(N, latent_dim)``.
         """
         was_training = self.training
+        dtype = self.dtype
         self.eval()
         try:
             with no_grad():
@@ -91,8 +98,9 @@ class ConditionalGenerativeModel(Module):
                     latent_tensor = self.prior_latent(program_levels.shape[0],
                                                       rng)
                 else:
-                    latent_tensor = Tensor(np.asarray(latent, dtype=float))
-                output = self._generate(Tensor(program_levels), pe_normalized,
+                    latent_tensor = Tensor(np.asarray(latent, dtype=dtype))
+                levels = np.asarray(program_levels, dtype=dtype)
+                output = self._generate(Tensor(levels), pe_normalized,
                                         latent_tensor)
         finally:
             self.train(was_training)

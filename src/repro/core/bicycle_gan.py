@@ -21,6 +21,7 @@ from repro.core.generator import UNetGenerator
 from repro.nn import (
     Tensor,
     bce_with_logits_loss,
+    default_dtype,
     gaussian_kl_loss,
     l1_loss,
     mse_loss,
@@ -41,10 +42,11 @@ class BicycleGAN(ConditionalGenerativeModel):
                  condition_on_pe: bool = True):
         super().__init__(config)
         rng = rng if rng is not None else np.random.default_rng()
-        self.encoder = ResNetEncoder(config, rng=rng)
-        self.generator = UNetGenerator(config, rng=rng,
-                                       condition_on_pe=condition_on_pe)
-        self.discriminator = PatchGANDiscriminator(config, rng=rng)
+        with default_dtype(config.dtype):
+            self.encoder = ResNetEncoder(config, rng=rng)
+            self.generator = UNetGenerator(config, rng=rng,
+                                           condition_on_pe=condition_on_pe)
+            self.discriminator = PatchGANDiscriminator(config, rng=rng)
 
     def generator_parameters(self):
         return self.generator.parameters() + self.encoder.parameters()

@@ -13,7 +13,13 @@ from repro.core.base import ConditionalGenerativeModel
 from repro.core.config import ModelConfig
 from repro.core.discriminator import PatchGANDiscriminator
 from repro.core.generator import UNetGenerator
-from repro.nn import Tensor, bce_with_logits_loss, mse_loss, no_grad
+from repro.nn import (
+    Tensor,
+    bce_with_logits_loss,
+    default_dtype,
+    mse_loss,
+    no_grad,
+)
 
 __all__ = ["ConditionalGAN"]
 
@@ -29,9 +35,10 @@ class ConditionalGAN(ConditionalGenerativeModel):
                  condition_on_pe: bool = True):
         super().__init__(config)
         rng = rng if rng is not None else np.random.default_rng()
-        self.generator = UNetGenerator(config, rng=rng,
-                                       condition_on_pe=condition_on_pe)
-        self.discriminator = PatchGANDiscriminator(config, rng=rng)
+        with default_dtype(config.dtype):
+            self.generator = UNetGenerator(config, rng=rng,
+                                           condition_on_pe=condition_on_pe)
+            self.discriminator = PatchGANDiscriminator(config, rng=rng)
 
     def generator_parameters(self):
         return self.generator.parameters()

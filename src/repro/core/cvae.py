@@ -14,7 +14,7 @@ from repro.core.base import ConditionalGenerativeModel
 from repro.core.config import ModelConfig
 from repro.core.encoder import ResNetEncoder
 from repro.core.generator import UNetGenerator
-from repro.nn import gaussian_kl_loss, mse_loss, no_grad
+from repro.nn import default_dtype, gaussian_kl_loss, mse_loss, no_grad
 
 __all__ = ["ConditionalVAE"]
 
@@ -30,9 +30,10 @@ class ConditionalVAE(ConditionalGenerativeModel):
                  condition_on_pe: bool = True):
         super().__init__(config)
         rng = rng if rng is not None else np.random.default_rng()
-        self.encoder = ResNetEncoder(config, rng=rng)
-        self.generator = UNetGenerator(config, rng=rng,
-                                       condition_on_pe=condition_on_pe)
+        with default_dtype(config.dtype):
+            self.encoder = ResNetEncoder(config, rng=rng)
+            self.generator = UNetGenerator(config, rng=rng,
+                                           condition_on_pe=condition_on_pe)
 
     def generator_parameters(self):
         return self.generator.parameters() + self.encoder.parameters()

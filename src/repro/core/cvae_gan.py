@@ -21,6 +21,7 @@ from repro.core.generator import UNetGenerator
 from repro.nn import (
     Tensor,
     bce_with_logits_loss,
+    default_dtype,
     gaussian_kl_loss,
     mse_loss,
     no_grad,
@@ -40,10 +41,11 @@ class ConditionalVAEGAN(ConditionalGenerativeModel):
                  condition_on_pe: bool = True):
         super().__init__(config)
         rng = rng if rng is not None else np.random.default_rng()
-        self.encoder = ResNetEncoder(config, rng=rng)
-        self.generator = UNetGenerator(config, rng=rng,
-                                       condition_on_pe=condition_on_pe)
-        self.discriminator = PatchGANDiscriminator(config, rng=rng)
+        with default_dtype(config.dtype):
+            self.encoder = ResNetEncoder(config, rng=rng)
+            self.generator = UNetGenerator(config, rng=rng,
+                                           condition_on_pe=condition_on_pe)
+            self.discriminator = PatchGANDiscriminator(config, rng=rng)
 
     # ------------------------------------------------------------------ #
     # Parameter groups
@@ -110,7 +112,8 @@ class ConditionalVAEGAN(ConditionalGenerativeModel):
         self.eval()
         try:
             with no_grad():
-                mu, logvar = self.encoder(Tensor(voltages), pe_normalized)
+                volts = np.asarray(voltages, dtype=self.dtype)
+                mu, logvar = self.encoder(Tensor(volts), pe_normalized)
         finally:
             self.train(was_training)
         return mu.numpy(), logvar.numpy()

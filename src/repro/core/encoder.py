@@ -86,6 +86,11 @@ class ResNetEncoder(Module):
 
     def sample_latent(self, mu: Tensor, logvar: Tensor,
                       rng: np.random.Generator) -> Tensor:
-        """Re-parameterisation trick: ``z = mu + sigma * eps``."""
-        epsilon = Tensor(rng.standard_normal(mu.shape))
-        return mu + (logvar * 0.5).exp() * epsilon
+        """Re-parameterisation trick: ``z = mu + sigma * eps``.
+
+        The noise is drawn in float64 and cast to the posterior's dtype so
+        float32 and float64 models consume the same stream.
+        """
+        epsilon = rng.standard_normal(mu.shape).astype(mu.data.dtype,
+                                                       copy=False)
+        return mu + (logvar * 0.5).exp() * Tensor(epsilon)

@@ -67,7 +67,9 @@ def spatial_replicate(vector: np.ndarray, height: int, width: int) -> np.ndarray
     numpy.ndarray
         Array of shape ``(N, d, height, width)`` (NCHW layout).
     """
-    vector = np.asarray(vector, dtype=float)
+    vector = np.asarray(vector)
+    if vector.dtype.kind != "f":
+        vector = vector.astype(float)
     if vector.ndim != 2:
         raise ValueError("vector must have shape (N, d)")
     if height < 1 or width < 1:
@@ -90,7 +92,7 @@ def replicate_latent(latent: Tensor, height: int, width: int) -> Tensor:
         raise ValueError("height and width must be positive")
     batch, dim = latent.shape
     reshaped = latent.reshape(batch, dim, 1, 1)
-    ones = Tensor(np.ones((1, 1, height, width)))
+    ones = Tensor(np.ones((1, 1, height, width), dtype=latent.data.dtype))
     return reshaped * ones
 
 
@@ -102,7 +104,9 @@ def concat_condition(features: Tensor, condition: np.ndarray) -> Tensor:
     replicated to the feature map's spatial size first.  The result has
     ``C + d`` channels, the "channel-wise combination" of Section III-B.
     """
-    condition = np.asarray(condition, dtype=float)
+    # The conditioning map adopts the feature map's dtype so concatenation
+    # never upcasts a float32 activation graph.
+    condition = np.asarray(condition, dtype=features.data.dtype)
     batch, _, height, width = features.shape
     if condition.ndim == 2:
         condition = spatial_replicate(condition, height, width)

@@ -60,7 +60,11 @@ class GenerativeChannelModel:
         """
         levels = self._check_input(program_levels)
         squeeze = np.asarray(program_levels).ndim == 2
-        normalized_levels = self.level_normalizer.normalize(levels)[:, None]
+        # Cast the normalised stack to the model's working dtype once, so
+        # every chunked forward pass runs at that precision (float32 by
+        # default); the physical-unit output below stays float64.
+        normalized_levels = self.level_normalizer.normalize(levels)[:, None] \
+            .astype(self.model.dtype, copy=False)
         pe_normalized_value = float(self.pe_normalizer.normalize(pe_cycles))
 
         outputs = []

@@ -85,10 +85,14 @@ class Trainer:
     def _prepare_batch(self, program_levels: np.ndarray, voltages: np.ndarray,
                        pe_cycles: np.ndarray
                        ) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Normalise a raw batch and cast it to the model's working dtype."""
+        dtype = self.model.dtype
         levels = self.level_normalizer.normalize(program_levels)[:, None, :, :]
         volts = self.voltage_normalizer.normalize(voltages)[:, None, :, :]
         pe_normalized = self.pe_normalizer.normalize(pe_cycles)
-        return Tensor(levels), Tensor(volts), pe_normalized
+        return (Tensor(levels.astype(dtype, copy=False)),
+                Tensor(volts.astype(dtype, copy=False)),
+                pe_normalized)
 
     # ------------------------------------------------------------------ #
     # Training

@@ -32,7 +32,11 @@ def build_model(name: str, config: ModelConfig | None = None,
     name:
         One of ``"cvae_gan"``, ``"cgan"``, ``"cvae"``, ``"bicycle_gan"``.
     config:
-        Model configuration (defaults to :meth:`ModelConfig.paper`).
+        Model configuration (defaults to :meth:`ModelConfig.paper`).  Its
+        ``dtype`` field ("float32" unless overridden) sets the working
+        precision of every parameter, buffer and activation; weight draws
+        are taken in float64 and cast, so two models built from the same
+        seed at different precisions hold the same values up to rounding.
     rng:
         Random generator used for weight initialisation.
     kwargs:

@@ -8,8 +8,30 @@ initialisation and parameter serialization.
 The API intentionally mirrors a small subset of PyTorch so the model code in
 :mod:`repro.core` reads like the reference implementations the paper builds on
 (pix2pix / BicycleGAN), while remaining pure NumPy.
+
+Precision and kernels are policy-driven: :mod:`repro.nn.dtypes` scopes the
+default floating dtype (float64 for raw tensors, float32 for the training /
+inference pipeline via ``ModelConfig.dtype``), and :mod:`repro.nn.backend`
+routes every hot array kernel (conv lowering, BLAS matmuls, fused loss
+reductions, in-place optimizer updates) through a swappable backend registry
+mirroring ``build_channel`` / ``build_executor``.
 """
 
+from repro.nn import backend
+from repro.nn.backend import (
+    ArrayBackend,
+    build_backend,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn.dtypes import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn import functional
 from repro.nn.layers import (
@@ -53,6 +75,17 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "backend",
+    "ArrayBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "build_backend",
+    "register_backend",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
     "Module",
     "Sequential",
     "ModuleList",

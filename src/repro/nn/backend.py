@@ -1,0 +1,362 @@
+"""Swappable, dtype-aware array-kernel backend for the autograd engine.
+
+Every hot array operation of :mod:`repro.nn` — the conv im2col/col2im
+lowering and its BLAS matmuls, the elementwise activations, the fused
+loss/norm reductions and the in-place optimizer updates — is routed through
+one backend object instead of scattered ``np.*`` calls.  The indirection has
+two purposes:
+
+* **precision**: every kernel preserves the dtype of the arrays it is handed
+  (float32 stays float32 end to end), while the scalar reductions where
+  round-off compounds (loss values, gradient norms) accumulate in float64;
+* **pluggability**: an accelerated port (MKL, CuPy, a C extension) registers
+  a subclass under a name and the whole train → sample → sweep pipeline uses
+  it, mirroring ``build_channel`` / ``build_executor``.
+
+The default :class:`NumpyBackend` additionally owns a :class:`BufferArena`
+of pre-allocated, thread-local scratch buffers: graph-free forward passes
+(``no_grad`` inference, the generative channel's batched sampling) reuse the
+same im2col column buffers call after call instead of re-allocating the
+largest arrays of the pipeline on every layer.
+
+Usage mirrors the channel registry::
+
+    from repro.nn import backend
+    backend.get_backend()              # current backend (default "numpy")
+    backend.set_backend("numpy")       # switch globally (this thread)
+    with backend.use_backend("reference"):
+        ...                            # scoped switch
+
+    @backend.register_backend("mykernels")
+    class MyBackend(backend.NumpyBackend):
+        def matmul(self, a, b, out=None): ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+__all__ = [
+    "BufferArena",
+    "ArrayBackend",
+    "NumpyBackend",
+    "ReferenceBackend",
+    "BACKEND_REGISTRY",
+    "register_backend",
+    "build_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+class BufferArena:
+    """Thread-local pool of reusable scratch buffers, keyed by shape+dtype.
+
+    ``scratch`` hands out an *uninitialised* buffer that is only valid until
+    the next ``scratch`` request with the same key from the same thread;
+    callers must never store a scratch buffer in a result that outlives the
+    current forward call (the conv kernels only use it for column matrices
+    that die with the call, and only when no backward closure captures
+    them).
+    """
+
+    def __init__(self, max_buffers: int = 32):
+        self.max_buffers = max_buffers
+        self._local = threading.local()
+
+    def _pool(self) -> dict:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+            self._local.hits = 0
+            self._local.misses = 0
+        return pool
+
+    def scratch(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialised buffer of the requested shape and dtype."""
+        pool = self._pool()
+        key = (tuple(shape), np.dtype(dtype))
+        buffer = pool.get(key)
+        if buffer is None:
+            if len(pool) >= self.max_buffers:
+                pool.clear()  # simple pressure valve; shapes are few in practice
+            buffer = pool[key] = np.empty(key[0], dtype=key[1])
+            self._local.misses += 1
+        else:
+            self._local.hits += 1
+        return buffer
+
+    def stats(self) -> dict[str, int]:
+        pool = self._pool()
+        return {
+            "buffers": len(pool),
+            "bytes": int(sum(b.nbytes for b in pool.values())),
+            "hits": int(self._local.hits),
+            "misses": int(self._local.misses),
+        }
+
+    def clear(self) -> None:
+        self._pool().clear()
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+class ArrayBackend:
+    """Kernel interface + reference NumPy implementations.
+
+    Subclasses override individual kernels; everything they do not override
+    falls back to these straightforward NumPy versions.  All kernels must
+    preserve the dtype of their array arguments.
+    """
+
+    #: Registry name; subclasses set their own.
+    name = "reference"
+
+    def __init__(self):
+        self.arena = BufferArena()
+
+    def scratch_out(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An output buffer for a kernel intermediate that dies with the
+        current forward call.
+
+        The default policy hands out arena buffers (reused across calls);
+        :class:`ReferenceBackend` overrides this with fresh allocations.
+        Callers must only use it on graph-free paths — never for arrays a
+        backward closure or a tensor's ``data`` would retain.
+        """
+        return self.arena.scratch(shape, dtype)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
+        return np.matmul(a, b, out=out)
+
+    # ------------------------------------------------------------------ #
+    # Convolution lowering
+    # ------------------------------------------------------------------ #
+    def im2col(self, x: np.ndarray, kernel: int, stride: int, padding: int,
+               scratch: bool = False) -> np.ndarray:
+        """Lower an NCHW array into ``(N, C*K*K, H_out*W_out)`` columns.
+
+        With ``scratch=True`` the column matrix comes from the arena and is
+        only valid until the next same-shaped request — legal only on
+        graph-free paths where no backward closure captures it.
+        """
+        batch, channels, height, width = x.shape
+        out_h = _conv_out(height, kernel, stride, padding)
+        out_w = _conv_out(width, kernel, stride, padding)
+        if padding > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                           (padding, padding)))
+        shape = (batch, channels, kernel, kernel, out_h, out_w)
+        if scratch:
+            cols = self.scratch_out(shape, x.dtype)
+        else:
+            cols = np.empty(shape, dtype=x.dtype)
+        for i in range(kernel):
+            i_end = i + stride * out_h
+            for j in range(kernel):
+                j_end = j + stride * out_w
+                cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+        return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
+
+    def col2im(self, cols: np.ndarray,
+               input_shape: tuple[int, int, int, int],
+               kernel: int, stride: int, padding: int) -> np.ndarray:
+        """Adjoint of :meth:`im2col`: scatter-add columns onto an NCHW grid."""
+        batch, channels, height, width = input_shape
+        out_h = _conv_out(height, kernel, stride, padding)
+        out_w = _conv_out(width, kernel, stride, padding)
+        cols = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
+        result = np.zeros((batch, channels, height + 2 * padding,
+                           width + 2 * padding), dtype=cols.dtype)
+        for i in range(kernel):
+            i_end = i + stride * out_h
+            for j in range(kernel):
+                j_end = j + stride * out_w
+                result[:, :, i:i_end:stride, j:j_end:stride] += \
+                    cols[:, :, i, j, :, :]
+        if padding > 0:
+            result = result[:, :, padding:-padding, padding:-padding]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Elementwise activations (dtype preserving)
+    # ------------------------------------------------------------------ #
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def log(self, x: np.ndarray) -> np.ndarray:
+        return np.log(x)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def leaky_relu(self, x: np.ndarray, negative_slope: float) -> np.ndarray:
+        return np.where(x > 0, x, x * negative_slope)
+
+    # ------------------------------------------------------------------ #
+    # Fused elementwise + reduction kernels (float64 accumulation)
+    # ------------------------------------------------------------------ #
+    def sum_squares(self, array: np.ndarray) -> float:
+        """``sum(array**2)`` accumulated in float64, no float64 copy."""
+        flat = np.ascontiguousarray(array).ravel()
+        return float(np.einsum("i,i->", flat, flat, dtype=np.float64))
+
+    def mean_squared(self, array: np.ndarray) -> float:
+        return self.sum_squares(array) / array.size
+
+    def mean_abs(self, array: np.ndarray) -> float:
+        return float(np.abs(array).sum(dtype=np.float64)) / array.size
+
+    def bce_logits(self, logits: np.ndarray, target: float) -> float:
+        """Mean of ``max(x, 0) - x*y + log(1 + exp(-|x|))`` in one pass."""
+        x = logits
+        loss = np.maximum(x, 0.0) - x * target + np.log1p(np.exp(-np.abs(x)))
+        return float(loss.sum(dtype=np.float64)) / x.size
+
+    def gaussian_kl(self, mu: np.ndarray, logvar: np.ndarray) -> float:
+        """``-0.5 * sum(1 + logvar - mu^2 - exp(logvar)) / batch``."""
+        term = 1.0 + logvar - mu * mu - np.exp(logvar)
+        return -0.5 * float(term.sum(dtype=np.float64)) / mu.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # In-place parameter updates
+    # ------------------------------------------------------------------ #
+    def scale_inplace(self, array: np.ndarray, scale: float) -> None:
+        array *= array.dtype.type(scale)
+
+    def clip_inplace(self, array: np.ndarray, low: float, high: float) -> None:
+        np.clip(array, low, high, out=array)
+
+    def sgd_update(self, param: np.ndarray, grad: np.ndarray,
+                   velocity: np.ndarray | None, lr: float, momentum: float,
+                   weight_decay: float) -> None:
+        """One in-place SGD step; ``velocity`` is updated in place too."""
+        if weight_decay:
+            grad = grad + weight_decay * param
+        if momentum:
+            velocity *= momentum
+            velocity += grad
+            update = velocity
+        else:
+            update = grad
+        param -= param.dtype.type(lr) * update
+
+    def adam_update(self, param: np.ndarray, grad: np.ndarray,
+                    m: np.ndarray, v: np.ndarray, lr: float,
+                    beta1: float, beta2: float, eps: float,
+                    bias_correction1: float, bias_correction2: float,
+                    weight_decay: float) -> None:
+        """One in-place Adam step; the moment buffers are updated in place."""
+        if weight_decay:
+            grad = grad + weight_decay * param
+        m *= beta1
+        m += (1 - beta1) * grad
+        v *= beta2
+        v += (1 - beta2) * grad * grad
+        m_hat = m / bias_correction1
+        v_hat = v / bias_correction2
+        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: BLAS matmuls + arena-backed conv buffers.
+
+    The kernels are numerically identical to :class:`ArrayBackend` (the
+    reference implementations already call into NumPy); what this class
+    exists for is the registry slot accelerated ports subclass from, and as
+    the carrier of the scratch arena used on graph-free forward paths.
+    """
+
+    name = "numpy"
+
+
+class ReferenceBackend(ArrayBackend):
+    """Plain reference kernels, never using the scratch arena.
+
+    Used by the conformance tests to check that arena reuse and kernel
+    fusion in an accelerated backend do not change results; every scratch
+    request gets a fresh allocation instead of a pooled buffer.
+    """
+
+    name = "reference"
+
+    def scratch_out(self, shape, dtype):
+        return np.empty(shape, dtype=dtype)
+
+
+BACKEND_REGISTRY: dict[str, type[ArrayBackend]] = {
+    NumpyBackend.name: NumpyBackend,
+    ReferenceBackend.name: ReferenceBackend,
+}
+
+
+def register_backend(name: str, cls: type[ArrayBackend] | None = None):
+    """Register a backend class under ``name`` (usable as a decorator)."""
+    def _register(backend_cls: type[ArrayBackend]) -> type[ArrayBackend]:
+        if not (isinstance(backend_cls, type)
+                and issubclass(backend_cls, ArrayBackend)):
+            raise TypeError("backend must subclass ArrayBackend")
+        BACKEND_REGISTRY[name] = backend_cls
+        return backend_cls
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+def build_backend(name: str, **kwargs) -> ArrayBackend:
+    """Instantiate a registered backend by name."""
+    if name not in BACKEND_REGISTRY:
+        raise ValueError(f"unknown array backend {name!r}; available: "
+                         f"{sorted(BACKEND_REGISTRY)}")
+    return BACKEND_REGISTRY[name](**kwargs)
+
+
+class _BackendState(threading.local):
+    def __init__(self):
+        self.current: ArrayBackend | None = None
+
+
+_STATE = _BackendState()
+_DEFAULT = NumpyBackend()
+
+
+def get_backend() -> ArrayBackend:
+    """The backend the engine currently routes kernels through."""
+    backend = _STATE.current
+    return backend if backend is not None else _DEFAULT
+
+
+def set_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Switch the current thread's backend; accepts a name or an instance."""
+    if isinstance(backend, str):
+        backend = build_backend(backend)
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError("backend must be a registry name or an ArrayBackend")
+    _STATE.current = backend
+    return backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | ArrayBackend):
+    """Scoped backend switch (restores the previous backend on exit)."""
+    previous = _STATE.current
+    try:
+        yield set_backend(backend)
+    finally:
+        _STATE.current = previous

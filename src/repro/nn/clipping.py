@@ -5,6 +5,11 @@ discriminator gradient; clipping by global norm or by value keeps the Adam
 updates bounded without changing the architecture.  Both helpers operate in
 place on the ``grad`` buffers of a parameter list (anything returned by
 ``Module.parameters()``).
+
+Norms accumulate in float64 regardless of the gradient dtype (the one place
+float32 round-off would compound over millions of entries), without ever
+materialising a float64 copy of the gradients; the scaling applied to the
+gradients themselves preserves their dtype.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.backend import get_backend
 from repro.nn.tensor import Tensor
 
 __all__ = ["global_grad_norm", "clip_grad_norm", "clip_grad_value"]
@@ -25,9 +31,10 @@ def _with_grads(parameters: Iterable[Tensor]) -> Sequence[Tensor]:
 
 def global_grad_norm(parameters: Iterable[Tensor]) -> float:
     """L2 norm of all gradients concatenated (0.0 if nothing has a gradient)."""
+    backend = get_backend()
     total = 0.0
     for parameter in _with_grads(parameters):
-        total += float(np.sum(parameter.grad.astype(np.float64) ** 2))
+        total += backend.sum_squares(parameter.grad)
     return float(np.sqrt(total))
 
 
@@ -39,12 +46,13 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
+    backend = get_backend()
     parameters = list(parameters)
     norm = global_grad_norm(parameters)
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
         for parameter in _with_grads(parameters):
-            parameter.grad = parameter.grad * scale
+            backend.scale_inplace(parameter.grad, scale)
     return norm
 
 
@@ -52,5 +60,6 @@ def clip_grad_value(parameters: Iterable[Tensor], max_value: float) -> None:
     """Clamp every gradient entry to ``[-max_value, max_value]`` in place."""
     if max_value <= 0:
         raise ValueError("max_value must be positive")
+    backend = get_backend()
     for parameter in _with_grads(parameters):
-        parameter.grad = np.clip(parameter.grad, -max_value, max_value)
+        backend.clip_inplace(parameter.grad, -max_value, max_value)

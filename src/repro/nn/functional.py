@@ -5,13 +5,22 @@ turns the spatial convolution into a single matrix multiplication per batch.
 Both :func:`conv2d` and :func:`conv_transpose2d` follow the PyTorch weight
 layout conventions so the model code in :mod:`repro.core` can be read against
 the reference pix2pix / BicycleGAN implementations.
+
+The array kernels (column lowering, BLAS matmuls) are routed through the
+swappable backend of :mod:`repro.nn.backend` and preserve the input dtype —
+a float32 forward pass never allocates a float64 intermediate.  On
+graph-free paths (``no_grad`` inference) the column matrices — the largest
+allocations of the pipeline — come from the backend's pre-allocated buffer
+arena instead of fresh ``np.empty`` calls; when a backward closure will
+capture the columns they are always freshly allocated.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.backend import get_backend
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
@@ -40,40 +49,18 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
 
     Returns an array of shape ``(N, C * kernel * kernel, H_out * W_out)``.
     """
-    batch, channels, height, width = x.shape
-    out_h = conv_output_size(height, kernel, stride, padding)
-    out_w = conv_output_size(width, kernel, stride, padding)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-
-    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
-    for i in range(kernel):
-        i_end = i + stride * out_h
-        for j in range(kernel):
-            j_end = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
-    return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
+    return get_backend().im2col(x, kernel, stride, padding)
 
 
 def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
            kernel: int, stride: int, padding: int) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back onto an NCHW grid."""
-    batch, channels, height, width = input_shape
-    out_h = conv_output_size(height, kernel, stride, padding)
-    out_w = conv_output_size(width, kernel, stride, padding)
-    padded_h = height + 2 * padding
-    padded_w = width + 2 * padding
+    return get_backend().col2im(cols, input_shape, kernel, stride, padding)
 
-    cols = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
-    result = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
-    for i in range(kernel):
-        i_end = i + stride * out_h
-        for j in range(kernel):
-            j_end = j + stride * out_w
-            result[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
-    if padding > 0:
-        result = result[:, :, padding:-padding, padding:-padding]
-    return result
+
+def _needs_graph(*tensors: Tensor | None) -> bool:
+    return is_grad_enabled() and any(t is not None and t.requires_grad
+                                     for t in tensors)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -100,13 +87,19 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     out_h = conv_output_size(height, kernel, stride, padding)
     out_w = conv_output_size(width, kernel, stride, padding)
 
-    cols = im2col(x.data, kernel, stride, padding)
+    backend = get_backend()
+    needs_graph = _needs_graph(x, weight, bias)
+    # The column matrix is the largest allocation of the forward pass; on
+    # graph-free paths it comes from the arena (the backward closure below
+    # captures it, so it must be fresh whenever gradients are recorded).
+    cols = backend.im2col(x.data, kernel, stride, padding,
+                          scratch=not needs_graph)
     weight_flat = weight.data.reshape(out_channels, -1)
     # (N, C_out, H_out * W_out) via a BLAS-batched matmul (markedly faster
     # than the equivalent einsum for these shapes).
-    out_data = np.matmul(weight_flat, cols)
+    out_data = backend.matmul(weight_flat, cols)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1)
+        out_data += bias.data.reshape(1, -1, 1)
     out_data = out_data.reshape(batch, out_channels, out_h, out_w)
 
     parents = [x, weight] if bias is None else [x, weight, bias]
@@ -117,15 +110,15 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         def _backward():
             grad_out = out.grad.reshape(batch, out_channels, -1)
             if weight.requires_grad:
-                grad_weight = np.matmul(grad_out,
-                                        cols.transpose(0, 2, 1)).sum(axis=0)
+                grad_weight = backend.matmul(
+                    grad_out, cols.transpose(0, 2, 1)).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad_out.sum(axis=(0, 2)))
             if x.requires_grad:
-                grad_cols = np.matmul(weight_flat.T, grad_out)
-                x._accumulate(col2im(grad_cols, input_shape, kernel, stride,
-                                     padding))
+                grad_cols = backend.matmul(weight_flat.T, grad_out)
+                x._accumulate(backend.col2im(grad_cols, input_shape, kernel,
+                                             stride, padding))
         out._backward = _backward
     return out
 
@@ -155,28 +148,34 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     out_w = conv_transpose_output_size(width, kernel, stride, padding)
     output_shape = (batch, out_channels, out_h, out_w)
 
+    backend = get_backend()
+    needs_graph = _needs_graph(x, weight, bias)
     # The transposed convolution is the adjoint of a convolution that maps the
     # output grid back to the input grid; the forward pass therefore uses
     # col2im and the backward pass uses im2col.
     x_flat = x.data.reshape(batch, in_channels, -1)
     weight_flat = weight.data.reshape(in_channels, -1)  # (C_in, C_out*K*K)
-    cols = np.matmul(weight_flat.T, x_flat)
-    out_data = col2im(cols, output_shape, kernel, stride, padding)
+    if needs_graph:
+        cols = backend.matmul(weight_flat.T, x_flat)
+    else:
+        scratch = backend.scratch_out(
+            (batch, weight_flat.shape[1], x_flat.shape[2]), x.data.dtype)
+        cols = backend.matmul(weight_flat.T, x_flat, out=scratch)
+    out_data = backend.col2im(cols, output_shape, kernel, stride, padding)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+        out_data += bias.data.reshape(1, -1, 1, 1)
 
     parents = [x, weight] if bias is None else [x, weight, bias]
     out = x._make_child(out_data, parents, "conv_transpose2d")
     if out.requires_grad:
         def _backward():
-            grad_cols = im2col(out.grad, kernel, stride, padding)
+            grad_cols = backend.im2col(out.grad, kernel, stride, padding)
             if x.requires_grad:
-                grad_x = np.matmul(weight_flat, grad_cols)
+                grad_x = backend.matmul(weight_flat, grad_cols)
                 x._accumulate(grad_x.reshape(x.shape))
             if weight.requires_grad:
-                grad_weight = np.matmul(x_flat,
-                                        grad_cols.transpose(0, 2, 1)
-                                        ).sum(axis=0)
+                grad_weight = backend.matmul(
+                    x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
             if bias is not None and bias.requires_grad:
                 bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
@@ -191,17 +190,20 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     out_h = conv_output_size(height, kernel, stride, 0)
     out_w = conv_output_size(width, kernel, stride, 0)
 
-    cols = im2col(x.data.reshape(batch * channels, 1, height, width),
-                  kernel, stride, 0)
+    backend = get_backend()
+    cols = backend.im2col(x.data.reshape(batch * channels, 1, height, width),
+                          kernel, stride, 0, scratch=not _needs_graph(x))
     out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
 
     out = x._make_child(out_data, (x,), "avg_pool2d")
     if out.requires_grad:
         def _backward():
             grad = out.grad.reshape(batch * channels, 1, -1)
-            grad_cols = np.repeat(grad, kernel * kernel, axis=1) / (kernel * kernel)
-            grad_x = col2im(grad_cols, (batch * channels, 1, height, width),
-                            kernel, stride, 0)
+            scale = x.data.dtype.type(1.0 / (kernel * kernel))
+            grad_cols = np.repeat(grad, kernel * kernel, axis=1) * scale
+            grad_x = backend.col2im(grad_cols,
+                                    (batch * channels, 1, height, width),
+                                    kernel, stride, 0)
             x._accumulate(grad_x.reshape(x.shape))
         out._backward = _backward
     return out

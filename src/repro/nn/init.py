@@ -11,6 +11,8 @@ import math
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype
+
 __all__ = [
     "normal_",
     "kaiming_uniform",
@@ -23,7 +25,8 @@ def normal_(shape: tuple[int, ...], std: float = 0.02,
             rng: np.random.Generator | None = None) -> np.ndarray:
     """Zero-mean Gaussian initialisation with the given standard deviation."""
     generator = rng if rng is not None else np.random.default_rng()
-    return generator.normal(0.0, std, size=shape)
+    sample = generator.normal(0.0, std, size=shape)
+    return sample.astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple[int, ...], fan_in: int,
@@ -31,7 +34,8 @@ def kaiming_uniform(shape: tuple[int, ...], fan_in: int,
     """Kaiming-uniform initialisation used for linear layers."""
     generator = rng if rng is not None else np.random.default_rng()
     bound = math.sqrt(1.0 / max(fan_in, 1))
-    return generator.uniform(-bound, bound, size=shape)
+    sample = generator.uniform(-bound, bound, size=shape)
+    return sample.astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
@@ -39,7 +43,8 @@ def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
     """Glorot/Xavier-uniform initialisation."""
     generator = rng if rng is not None else np.random.default_rng()
     bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return generator.uniform(-bound, bound, size=shape)
+    sample = generator.uniform(-bound, bound, size=shape)
+    return sample.astype(get_default_dtype(), copy=False)
 
 
 def dcgan_conv_init(shape: tuple[int, ...],

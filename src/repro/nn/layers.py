@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.dtypes import get_default_dtype, resolve_dtype
 from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -55,7 +56,13 @@ class Module:
         return tensor
 
     def register_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        # Preserve the array's own floating dtype (a float32 module keeps
+        # float32 running statistics); only non-float data is promoted, to
+        # the default dtype rather than a hard-coded float64.
+        array = np.asarray(array)
+        if array.dtype.kind != "f":
+            array = array.astype(get_default_dtype())
+        self._buffers[name] = array
         return self._buffers[name]
 
     def add_module(self, name: str, module: "Module") -> "Module":
@@ -119,6 +126,33 @@ class Module:
         return self
 
     # ------------------------------------------------------------------ #
+    # Precision
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype of the module's parameters (default dtype if none)."""
+        for _, parameter in self.named_parameters():
+            return parameter.data.dtype
+        return get_default_dtype()
+
+    def to(self, dtype) -> "Module":
+        """Cast all parameters and buffers to ``dtype`` in place.
+
+        Call before creating optimizers: their moment buffers adopt the
+        parameter dtype at construction time.
+        """
+        dtype = resolve_dtype(dtype)
+        for module in self.modules():
+            for name, parameter in module._parameters.items():
+                parameter.data = parameter.data.astype(dtype, copy=False)
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad.astype(dtype, copy=False)
+            for name, buffer in module._buffers.items():
+                module._buffers[name] = np.asarray(buffer).astype(dtype,
+                                                                  copy=False)
+        return self
+
+    # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
@@ -130,6 +164,13 @@ class Module:
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore parameters and buffers, adopting the stored dtypes.
+
+        A checkpoint round-trips its precision exactly: loading float32
+        weights into a float64-initialised module makes the module float32
+        (and vice versa) rather than silently casting.  Non-float stored
+        values are promoted to the current parameter dtype.
+        """
         parameters = dict(self.named_parameters())
         missing = []
         for name, parameter in parameters.items():
@@ -140,7 +181,9 @@ class Module:
             if value.shape != parameter.data.shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{value.shape} vs {parameter.data.shape}")
-            parameter.data = value.astype(parameter.data.dtype)
+            if value.dtype.kind != "f":
+                value = value.astype(parameter.data.dtype)
+            parameter.data = value.copy()
         if missing:
             raise KeyError(f"missing parameters in state dict: {missing}")
         self._load_buffers(state, prefix="")
@@ -149,7 +192,10 @@ class Module:
         for name in list(self._buffers):
             key = "buffer:" + prefix + name
             if key in state:
-                self._buffers[name] = np.asarray(state[key], dtype=np.float64)
+                value = np.asarray(state[key])
+                if value.dtype.kind != "f":
+                    value = value.astype(self._buffers[name].dtype)
+                self._buffers[name] = value.copy()
         for module_name, module in self._modules.items():
             module._load_buffers(state, prefix + module_name + ".")
 
@@ -264,7 +310,7 @@ class Conv2d(Module):
             "weight", Tensor(init.dcgan_conv_init(shape, rng=rng)))
         if bias:
             self.bias = self.register_parameter(
-                "bias", Tensor(np.zeros(out_channels)))
+                "bias", Tensor.zeros(out_channels))
         else:
             self.bias = None
 
@@ -290,7 +336,7 @@ class ConvTranspose2d(Module):
             "weight", Tensor(init.dcgan_conv_init(shape, rng=rng)))
         if bias:
             self.bias = self.register_parameter(
-                "bias", Tensor(np.zeros(out_channels)))
+                "bias", Tensor.zeros(out_channels))
         else:
             self.bias = None
 
@@ -308,12 +354,15 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
+        dtype = get_default_dtype()
         self.weight = self.register_parameter("weight",
-                                              Tensor(np.ones(num_features)))
+                                              Tensor.ones(num_features))
         self.bias = self.register_parameter("bias",
-                                            Tensor(np.zeros(num_features)))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+                                            Tensor.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features,
+                                                      dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features,
+                                                    dtype=dtype))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
@@ -392,7 +441,8 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) \
+            * x.data.dtype.type(1.0 / keep)
         return x * Tensor(mask)
 
 

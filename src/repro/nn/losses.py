@@ -3,13 +3,21 @@
 The cVAE-GAN objective of Eq. (1) in the paper combines an adversarial loss
 (binary cross-entropy on the PatchGAN output), an l2 reconstruction loss and a
 Gaussian KL term with weights alpha = 10 and beta = 0.01.
+
+The main losses are *fused*: instead of building a chain of intermediate
+autograd nodes (each allocating full-size arrays), the forward value is one
+backend reduction kernel and the backward pass one closed-form expression.
+Loss values accumulate in float64 regardless of the activation dtype — the
+scalar is where float32 round-off would actually compound — while the
+gradients flowing back into the network keep the network's dtype.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.backend import get_backend
+from repro.nn.tensor import Tensor, _unbroadcast
 
 __all__ = [
     "mse_loss",
@@ -21,17 +29,44 @@ __all__ = [
 ]
 
 
+def _scalar_node(value: float, parents, op: str) -> Tensor:
+    """A 0-d float64 loss node with the given parents."""
+    template = parents[0]
+    return template._make_child(np.float64(value).reshape(()), parents, op)
+
+
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
-    """Mean squared error (the paper's l2 reconstruction loss)."""
+    """Mean squared error (the paper's l2 reconstruction loss).
+
+    Fused: forward is one ``mean(diff**2)`` reduction with float64
+    accumulation, backward is ``2 * diff / N`` in the prediction's dtype.
+    """
     target = Tensor.ensure(target)
-    difference = prediction - target.detach()
-    return (difference * difference).mean()
+    diff = prediction.data - target.data
+    out = _scalar_node(get_backend().mean_squared(diff), (prediction,), "mse")
+    if out.requires_grad:
+        def _backward():
+            scale = diff.dtype.type(2.0 / diff.size) \
+                * diff.dtype.type(out.grad)
+            prediction._accumulate(_unbroadcast(diff * scale,
+                                                prediction.data.shape))
+        out._backward = _backward
+    return out
 
 
 def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
-    """Mean absolute error, used by the pix2pix comparator."""
+    """Mean absolute error, used by the pix2pix comparator (fused)."""
     target = Tensor.ensure(target)
-    return (prediction - target.detach()).abs().mean()
+    diff = prediction.data - target.data
+    out = _scalar_node(get_backend().mean_abs(diff), (prediction,), "l1")
+    if out.requires_grad:
+        def _backward():
+            scale = diff.dtype.type(1.0 / diff.size) \
+                * diff.dtype.type(out.grad)
+            prediction._accumulate(_unbroadcast(np.sign(diff) * scale,
+                                                prediction.data.shape))
+        out._backward = _backward
+    return out
 
 
 def bce_loss(probabilities: Tensor, target_value: float) -> Tensor:
@@ -51,24 +86,49 @@ def bce_with_logits_loss(logits: Tensor, target_value: float) -> Tensor:
     """Numerically stable binary cross-entropy on raw logits.
 
     Uses the standard formulation
-    ``max(x, 0) - x * y + log(1 + exp(-|x|))``.
+    ``max(x, 0) - x * y + log(1 + exp(-|x|))``, fused into a single forward
+    reduction; the backward pass is the closed form
+    ``(sigmoid(x) - y) / N``.
     """
-    positive_part = logits.relu()
-    abs_logits = logits.abs()
-    softplus = (1.0 + (-abs_logits).exp()).log()
-    loss = positive_part - logits * target_value + softplus
-    return loss.mean()
+    backend = get_backend()
+    x = logits.data
+    out = _scalar_node(backend.bce_logits(x, float(target_value)),
+                       (logits,), "bce_logits")
+    if out.requires_grad:
+        def _backward():
+            grad = backend.sigmoid(x)
+            grad -= x.dtype.type(target_value)
+            grad *= x.dtype.type(1.0 / x.size) * x.dtype.type(out.grad)
+            logits._accumulate(grad)
+        out._backward = _backward
+    return out
 
 
 def gaussian_kl_loss(mu: Tensor, logvar: Tensor) -> Tensor:
     """KL divergence between N(mu, exp(logvar)) and the standard normal.
 
     Matches the conditional VAE lower bound of the paper, averaged over the
-    batch and summed over latent dimensions.
+    batch and summed over latent dimensions.  Fused forward reduction;
+    closed-form backward ``dmu = mu / B``, ``dlogvar = -(1 - e^logvar)/2B``.
     """
-    kl_per_dim = -0.5 * (1.0 + logvar - mu * mu - logvar.exp())
-    batch = mu.shape[0]
-    return kl_per_dim.sum() * (1.0 / batch)
+    backend = get_backend()
+    out = _scalar_node(backend.gaussian_kl(mu.data, logvar.data),
+                       (mu, logvar), "gaussian_kl")
+    if out.requires_grad:
+        batch = mu.shape[0]
+
+        def _backward():
+            dtype = mu.data.dtype
+            seed = dtype.type(out.grad)
+            if mu.requires_grad:
+                mu._accumulate(mu.data * (dtype.type(1.0 / batch) * seed))
+            if logvar.requires_grad:
+                dlogvar = backend.exp(logvar.data)
+                dlogvar -= dtype.type(1.0)
+                dlogvar *= dtype.type(0.5 / batch) * seed
+                logvar._accumulate(dlogvar)
+        out._backward = _backward
+    return out
 
 
 def hinge_loss(logits: Tensor, real: bool, for_generator: bool = False) -> Tensor:

@@ -2,6 +2,11 @@
 
 The paper trains all networks with Adam at learning rate 2e-4 (Remark 2);
 plain SGD with momentum is provided for tests and ablations.
+
+Parameter updates are *in place* and routed through the array backend
+(:mod:`repro.nn.backend`): the parameter array and the moment buffers are
+mutated rather than reallocated every step, and they keep the parameter's
+dtype — a float32 model trains with float32 optimizer state end to end.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.backend import get_backend
 from repro.nn.tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam"]
@@ -45,19 +51,13 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = get_backend()
         for parameter, velocity in zip(self.parameters, self._velocity):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                update = velocity
-            else:
-                update = grad
-            parameter.data = parameter.data - self.lr * update
+            backend.sgd_update(parameter.data, parameter.grad,
+                               velocity if self.momentum else None,
+                               self.lr, self.momentum, self.weight_decay)
 
 
 class Adam(Optimizer):
@@ -80,6 +80,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = get_backend()
         self._step += 1
         beta1, beta2 = self.betas
         bias_correction1 = 1 - beta1 ** self._step
@@ -87,14 +88,7 @@ class Adam(Optimizer):
         for parameter, m, v in zip(self.parameters, self._m, self._v):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            m *= beta1
-            m += (1 - beta1) * grad
-            v *= beta2
-            v += (1 - beta2) * grad * grad
-            m_hat = m / bias_correction1
-            v_hat = v / bias_correction2
-            parameter.data = parameter.data - self.lr * m_hat / (
-                np.sqrt(v_hat) + self.eps)
+            backend.adam_update(parameter.data, parameter.grad, m, v,
+                                self.lr, beta1, beta2, self.eps,
+                                bias_correction1, bias_correction2,
+                                self.weight_decay)

@@ -1,4 +1,9 @@
-"""Saving and loading model parameters as compressed ``.npz`` archives."""
+"""Saving and loading model parameters as compressed ``.npz`` archives.
+
+Archives round-trip the stored arrays' dtypes exactly: a float32 state dict
+comes back float32, and ``Module.load_state_dict`` adopts the stored dtype,
+so a checkpoint restores the precision it was trained at.
+"""
 
 from __future__ import annotations
 

@@ -7,6 +7,14 @@ graph in reverse topological order.
 
 Broadcasting is fully supported: gradients flowing into a broadcast operand are
 reduced (summed) back to the operand's original shape by :func:`_unbroadcast`.
+
+Precision policy: operations preserve the dtype of the tensors they are
+applied to — float32 activations produce float32 outputs and float32
+gradients (scalar operands are coerced to the tensor's dtype so NumPy's
+promotion rules cannot silently upcast a float32 graph to float64).  New
+tensors created from non-array data default to
+:func:`repro.nn.dtypes.get_default_dtype`.  Array kernels are routed through
+the swappable backend of :mod:`repro.nn.backend`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from repro.nn.backend import get_backend
+from repro.nn.dtypes import get_default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -56,8 +67,14 @@ def _as_array(value, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got a Tensor")
     array = np.asarray(value, dtype=dtype)
-    if array.dtype.kind in "iub":
-        array = array.astype(np.float64)
+    if dtype is None:
+        if array.dtype.kind in "iub":
+            # Integer/bool data adopts the default floating dtype.
+            array = array.astype(get_default_dtype())
+        elif array.dtype.kind == "f" and not isinstance(value, np.ndarray):
+            # Python floats / lists adopt the default dtype too; an explicit
+            # ndarray keeps whatever float dtype the caller chose.
+            array = array.astype(get_default_dtype(), copy=False)
     return array
 
 
@@ -67,16 +84,21 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like value.  Integer inputs are promoted to ``float64``.
+        Array-like value.  Integer inputs (and non-array float data) are
+        promoted to the default dtype
+        (:func:`repro.nn.dtypes.get_default_dtype`); an explicit ndarray
+        keeps its own float dtype.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream tensor.
+    dtype:
+        Optional explicit dtype for the wrapped array.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
 
-    def __init__(self, data, requires_grad: bool = False):
-        self.data: np.ndarray = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype=dtype)
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] | None = None
@@ -87,23 +109,48 @@ class Tensor:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype if dtype is not None else get_default_dtype()
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype if dtype is not None else get_default_dtype()
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, rng: np.random.Generator | None = None,
-              requires_grad: bool = False) -> "Tensor":
+              requires_grad: bool = False, dtype=None) -> "Tensor":
         generator = rng if rng is not None else np.random.default_rng()
-        return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+        dtype = dtype if dtype is not None else get_default_dtype()
+        # Draw in float64 then cast, so a float32 tensor holds the rounded
+        # values of the same stream a float64 tensor would (documented
+        # precision policy: same draws, different rounding).
+        sample = generator.standard_normal(shape).astype(dtype, copy=False)
+        return Tensor(sample, requires_grad=requires_grad)
 
     @staticmethod
     def ensure(value) -> "Tensor":
         """Wrap ``value`` in a Tensor if it is not one already."""
         return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _coerce(value, dtype) -> "Tensor":
+        """Wrap an operand, pinning scalars to ``dtype``.
+
+        Python/NumPy scalars (and 0-d arrays) are cast to the other
+        operand's dtype so mixed expressions like ``x * 0.5`` never upcast a
+        float32 graph to float64 under NumPy's promotion rules.  Array
+        operands keep their own dtype.
+        """
+        if isinstance(value, Tensor):
+            return value
+        if np.isscalar(value):
+            return Tensor(np.asarray(value, dtype=dtype))
+        array = np.asarray(value)
+        if array.ndim == 0:
+            return Tensor(array.astype(dtype, copy=False))
+        return Tensor(value)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -135,6 +182,18 @@ class Tensor:
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (gradients are cast back on backward)."""
+        dtype = np.dtype(dtype)
+        if dtype == self.data.dtype:
+            return self
+        out = self._make_child(self.data.astype(dtype), (self,), "astype")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad)
+            out._backward = _backward
+        return out
+
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
@@ -161,10 +220,13 @@ class Tensor:
         return child
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Accumulation is dtype preserving: whatever dtype the incoming
+        # gradient arrives with (e.g. the float64 scalar seeding a loss), the
+        # stored gradient keeps the tensor's own dtype.
         if self.grad is None:
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -177,7 +239,9 @@ class Tensor:
         ----------
         grad:
             Gradient of the final objective w.r.t. this tensor.  Defaults to
-            ``1`` and is only optional for scalar tensors.
+            ``1`` and is only optional for scalar tensors.  An external
+            gradient must already have this tensor's dtype (no silent casts)
+            and a shape broadcastable to the tensor's shape.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not "
@@ -187,9 +251,24 @@ class Tensor:
                 raise RuntimeError("grad must be provided for non-scalar "
                                    "tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
-        if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+        else:
+            grad = np.asarray(grad)
+            if grad.dtype != self.data.dtype:
+                raise TypeError(
+                    f"seed gradient dtype {grad.dtype} does not match tensor "
+                    f"dtype {self.data.dtype}; cast the gradient explicitly "
+                    "before calling backward()")
+            if grad.shape != self.data.shape:
+                try:
+                    broadcast = np.broadcast_shapes(grad.shape,
+                                                    self.data.shape)
+                except ValueError:
+                    broadcast = None
+                if broadcast != self.data.shape:
+                    raise ValueError(
+                        f"seed gradient shape {grad.shape} is not "
+                        f"broadcastable to tensor shape {self.data.shape}")
+                grad = np.broadcast_to(grad, self.data.shape)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -216,7 +295,7 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = Tensor.ensure(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data + other.data, (self, other), "add")
 
         if out.requires_grad:
@@ -239,13 +318,13 @@ class Tensor:
         return out
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-Tensor.ensure(other))
+        return self + (-Tensor._coerce(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor.ensure(other) + (-self)
+        return Tensor._coerce(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = Tensor.ensure(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data * other.data, (self, other), "mul")
         if out.requires_grad:
             def _backward():
@@ -259,7 +338,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = Tensor.ensure(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data / other.data, (self, other), "div")
         if out.requires_grad:
             def _backward():
@@ -272,7 +351,7 @@ class Tensor:
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor.ensure(other) / self
+        return Tensor._coerce(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -289,7 +368,7 @@ class Tensor:
     # Elementwise non-linearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out = self._make_child(np.exp(self.data), (self,), "exp")
+        out = self._make_child(get_backend().exp(self.data), (self,), "exp")
         if out.requires_grad:
             def _backward():
                 self._accumulate(out.grad * out.data)
@@ -297,7 +376,7 @@ class Tensor:
         return out
 
     def log(self) -> "Tensor":
-        out = self._make_child(np.log(self.data), (self,), "log")
+        out = self._make_child(get_backend().log(self.data), (self,), "log")
         if out.requires_grad:
             def _backward():
                 self._accumulate(out.grad / self.data)
@@ -308,7 +387,7 @@ class Tensor:
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        value = np.tanh(self.data)
+        value = get_backend().tanh(self.data)
         out = self._make_child(value, (self,), "tanh")
         if out.requires_grad:
             def _backward():
@@ -317,7 +396,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        value = 1.0 / (1.0 + np.exp(-self.data))
+        value = get_backend().sigmoid(self.data)
         out = self._make_child(value, (self,), "sigmoid")
         if out.requires_grad:
             def _backward():
@@ -337,7 +416,7 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         if not self._needs_graph():
-            return self._make_child(np.maximum(self.data, 0.0), (self,),
+            return self._make_child(get_backend().relu(self.data), (self,),
                                     "relu")
         mask = self.data > 0
         out = self._make_child(self.data * mask, (self,), "relu")
@@ -350,10 +429,11 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         if not self._needs_graph():
             return self._make_child(
-                np.where(self.data > 0, self.data,
-                         self.data * negative_slope), (self,), "leaky_relu")
+                get_backend().leaky_relu(self.data, negative_slope),
+                (self,), "leaky_relu")
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, self.data.dtype.type(1.0),
+                         self.data.dtype.type(negative_slope))
         out = self._make_child(self.data * scale, (self,), "leaky_relu")
         if out.requires_grad:
             def _backward():
@@ -401,7 +481,7 @@ class Tensor:
                     if not keepdims:
                         grad = np.expand_dims(grad, axis=axes)
                     grad = np.broadcast_to(grad, input_shape)
-                self._accumulate(grad.astype(self.data.dtype))
+                self._accumulate(grad)
             out._backward = _backward
         return out
 
@@ -436,9 +516,11 @@ class Tensor:
                     expanded = np.broadcast_to(expanded, self.shape)
                     grad = np.broadcast_to(grad, self.shape)
                 mask = (self.data == expanded)
-                # Split the gradient evenly over ties.
+                # Split the gradient evenly over ties (counts cast so the
+                # int64 division does not upcast a float32 gradient).
                 counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
                     else mask.sum()
+                counts = np.asarray(counts, dtype=self.data.dtype)
                 self._accumulate(grad * mask / counts)
             out._backward = _backward
         return out
@@ -500,13 +582,15 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def matmul(self, other: "Tensor") -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make_child(self.data @ other.data, (self, other), "matmul")
+        backend = get_backend()
+        out = self._make_child(backend.matmul(self.data, other.data),
+                               (self, other), "matmul")
         if out.requires_grad:
             def _backward():
                 if self.requires_grad:
-                    self._accumulate(out.grad @ other.data.T)
+                    self._accumulate(backend.matmul(out.grad, other.data.T))
                 if other.requires_grad:
-                    other._accumulate(self.data.T @ out.grad)
+                    other._accumulate(backend.matmul(self.data.T, out.grad))
             out._backward = _backward
         return out
 

@@ -1,0 +1,297 @@
+"""Tests for the precision policy and the swappable array-kernel backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    bce_with_logits_loss,
+    default_dtype,
+    gaussian_kl_loss,
+    get_backend,
+    get_default_dtype,
+    mse_loss,
+    no_grad,
+    resolve_dtype,
+    set_backend,
+    set_default_dtype,
+    use_backend,
+)
+from repro.nn import functional as F
+from repro.nn.backend import (
+    BACKEND_REGISTRY,
+    ArrayBackend,
+    BufferArena,
+    NumpyBackend,
+    ReferenceBackend,
+    build_backend,
+    register_backend,
+)
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_resolve_aliases(self):
+        assert resolve_dtype("f32") == np.float32
+        assert resolve_dtype("float64") == np.float64
+        assert resolve_dtype(np.float32) == np.float32
+
+    def test_resolve_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            resolve_dtype("float16")
+        with pytest.raises(ValueError):
+            resolve_dtype(np.int32)
+
+    def test_context_manager_scopes_and_restores(self):
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with default_dtype("float32"):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype(self):
+        try:
+            set_default_dtype("float32")
+            assert get_default_dtype() == np.float32
+        finally:
+            set_default_dtype("float64")
+
+    def test_tensor_creation_follows_default(self):
+        with default_dtype("float32"):
+            assert Tensor([1, 2, 3]).dtype == np.float32      # ints promoted
+            assert Tensor(2.5).dtype == np.float32            # python float
+            assert Tensor.zeros((2,)).dtype == np.float32
+            assert Tensor.ones((2,)).dtype == np.float32
+            assert Tensor.randn(3, rng=np.random.default_rng(0)).dtype \
+                == np.float32
+
+    def test_explicit_ndarray_keeps_its_dtype(self):
+        with default_dtype("float32"):
+            assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_explicit_dtype_argument_wins(self):
+        assert Tensor([1.0], dtype=np.float32).dtype == np.float32
+
+    def test_randn_same_stream_across_dtypes(self):
+        """float32 draws are the cast of the float64 stream, not a new one."""
+        a = Tensor.randn(16, rng=np.random.default_rng(3), dtype=np.float64)
+        b = Tensor.randn(16, rng=np.random.default_rng(3), dtype=np.float32)
+        np.testing.assert_array_equal(a.data.astype(np.float32), b.data)
+
+    def test_astype_is_differentiable(self):
+        x = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.dtype == np.float32
+        (y * y).sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, [2.0, -4.0])
+
+    def test_astype_same_dtype_is_identity(self):
+        x = Tensor(np.array([1.0]))
+        assert x.astype(np.float64) is x
+
+
+class TestBackendRegistry:
+    def test_default_backend_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_registry_contents(self):
+        assert "numpy" in BACKEND_REGISTRY and "reference" in BACKEND_REGISTRY
+
+    def test_build_unknown_backend(self):
+        with pytest.raises(ValueError):
+            build_backend("cuda")
+
+    def test_use_backend_scopes_and_restores(self):
+        with use_backend("reference") as backend:
+            assert isinstance(backend, ReferenceBackend)
+            assert get_backend() is backend
+        assert get_backend().name == "numpy"
+
+    def test_set_backend_accepts_instance(self):
+        previous = get_backend()
+        try:
+            instance = NumpyBackend()
+            assert set_backend(instance) is instance
+            assert get_backend() is instance
+        finally:
+            set_backend(previous)
+
+    def test_set_backend_rejects_junk(self):
+        with pytest.raises(TypeError):
+            set_backend(42)
+
+    def test_register_backend_decorator(self):
+        @register_backend("_test_backend")
+        class _TestBackend(NumpyBackend):
+            name = "_test_backend"
+        try:
+            assert isinstance(build_backend("_test_backend"), _TestBackend)
+        finally:
+            del BACKEND_REGISTRY["_test_backend"]
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            register_backend("junk", int)
+
+
+class TestBufferArena:
+    def test_scratch_reuses_buffers(self):
+        arena = BufferArena()
+        first = arena.scratch((4, 5), np.float32)
+        second = arena.scratch((4, 5), np.float32)
+        assert first is second
+        assert arena.stats()["hits"] == 1
+        assert arena.stats()["misses"] == 1
+
+    def test_scratch_distinguishes_dtype(self):
+        arena = BufferArena()
+        assert arena.scratch((3,), np.float32) is not \
+            arena.scratch((3,), np.float64)
+
+    def test_clear(self):
+        arena = BufferArena()
+        arena.scratch((2, 2), np.float64)
+        arena.clear()
+        assert arena.stats()["buffers"] == 0
+
+    def test_conv_inference_hits_arena(self):
+        """Graph-free conv forward passes reuse the im2col scratch buffer."""
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)) * 0.1)
+        with use_backend(NumpyBackend()) as backend:
+            with no_grad():
+                first = F.conv2d(x, w, stride=1, padding=1)
+                second = F.conv2d(x, w, stride=1, padding=1)
+            assert backend.arena.stats()["hits"] >= 1
+        np.testing.assert_array_equal(first.data, second.data)
+
+    def test_grad_path_never_uses_arena(self):
+        """When a backward closure captures the columns they must be fresh."""
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.1, requires_grad=True)
+        with use_backend(NumpyBackend()) as backend:
+            out = F.conv2d(x, w, stride=1, padding=1)
+            (out * out).sum().backward()
+            assert backend.arena.stats()["hits"] == 0
+        assert w.grad is not None and x.grad is not None
+
+
+class TestBackendConformance:
+    """The arena-backed numpy backend must match the plain reference kernels."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_conv2d_forward_backward(self, dtype):
+        rng = np.random.default_rng(7)
+        x_data = rng.standard_normal((2, 3, 9, 9)).astype(dtype)
+        w_data = (rng.standard_normal((4, 3, 4, 4)) * 0.1).astype(dtype)
+        b_data = rng.standard_normal(4).astype(dtype)
+        results = {}
+        for name in ("numpy", "reference"):
+            with use_backend(name):
+                x = Tensor(x_data, requires_grad=True)
+                w = Tensor(w_data, requires_grad=True)
+                b = Tensor(b_data, requires_grad=True)
+                out = F.conv2d(x, w, b, stride=2, padding=1)
+                (out * out).sum().backward()
+                results[name] = (out.data, x.grad, w.grad, b.grad)
+        for got, want in zip(results["numpy"], results["reference"]):
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_conv_transpose2d_inference(self, dtype):
+        rng = np.random.default_rng(8)
+        x_data = rng.standard_normal((2, 4, 5, 5)).astype(dtype)
+        w_data = (rng.standard_normal((4, 2, 4, 4)) * 0.1).astype(dtype)
+        results = {}
+        for name in ("numpy", "reference"):
+            with use_backend(name), no_grad():
+                out = F.conv_transpose2d(Tensor(x_data), Tensor(w_data),
+                                         stride=2, padding=1)
+                results[name] = out.data.copy()
+        np.testing.assert_array_equal(results["numpy"], results["reference"])
+        assert results["numpy"].dtype == dtype
+
+
+class TestFusedReductions:
+    def test_sum_squares_accumulates_in_float64(self):
+        backend = get_backend()
+        array = np.full(10_000, 1e-4, dtype=np.float32)
+        exact = 10_000 * 1e-8
+        assert backend.sum_squares(array) == pytest.approx(exact, rel=1e-5)
+
+    def test_fused_mse_matches_composition(self):
+        rng = np.random.default_rng(2)
+        pred_data = rng.standard_normal((4, 8))
+        target = Tensor(rng.standard_normal((4, 8)))
+        pred = Tensor(pred_data, requires_grad=True)
+        loss = mse_loss(pred, target)
+        loss.backward()
+        diff = pred_data - target.data
+        assert loss.item() == pytest.approx(float((diff ** 2).mean()))
+        np.testing.assert_allclose(pred.grad, 2.0 * diff / diff.size,
+                                   rtol=1e-12)
+
+    def test_fused_mse_unbroadcasts_gradient(self):
+        """A broadcast prediction gets its gradient reduced back."""
+        pred = Tensor(np.ones((2, 1)), requires_grad=True)
+        target = Tensor(np.zeros((2, 3)))
+        mse_loss(pred, target).backward()
+        assert pred.grad.shape == (2, 1)
+        np.testing.assert_allclose(pred.grad,
+                                   np.full((2, 1), 3 * 2.0 / 6))
+
+    def test_fused_l1_unbroadcasts_gradient(self):
+        from repro.nn import l1_loss
+        pred = Tensor(np.ones((2, 1)), requires_grad=True)
+        l1_loss(pred, Tensor(np.zeros((2, 3)))).backward()
+        assert pred.grad.shape == (2, 1)
+
+    def test_fused_bce_logits_gradient_is_sigmoid_minus_target(self):
+        logits_data = np.array([-2.0, 0.0, 3.0])
+        logits = Tensor(logits_data, requires_grad=True)
+        bce_with_logits_loss(logits, 1.0).backward()
+        expected = (1 / (1 + np.exp(-logits_data)) - 1.0) / logits_data.size
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-12)
+
+    def test_fused_gaussian_kl_gradients(self):
+        mu = Tensor(np.array([[0.5, -1.0]]), requires_grad=True)
+        logvar = Tensor(np.array([[0.2, -0.4]]), requires_grad=True)
+        gaussian_kl_loss(mu, logvar).backward()
+        np.testing.assert_allclose(mu.grad, mu.data, rtol=1e-12)
+        np.testing.assert_allclose(logvar.grad,
+                                   0.5 * (np.exp(logvar.data) - 1.0),
+                                   rtol=1e-12)
+
+    def test_loss_value_is_float64_scalar(self):
+        pred = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        loss = mse_loss(pred, Tensor(np.ones(4, dtype=np.float32)))
+        assert loss.data.dtype == np.float64
+        assert loss.data.shape == ()
+
+    def test_custom_backend_is_actually_used(self):
+        calls = []
+
+        class _Spy(NumpyBackend):
+            def matmul(self, a, b, out=None):
+                calls.append(a.shape)
+                return super().matmul(a, b, out=out)
+
+        with use_backend(_Spy()):
+            a = Tensor(np.ones((2, 3)))
+            b = Tensor(np.ones((3, 2)))
+            (a @ b).sum()
+        assert calls
