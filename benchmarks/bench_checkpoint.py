@@ -1,0 +1,134 @@
+"""Model-zoo cold-start: loading a checkpoint vs retraining the backend.
+
+The on-disk model zoo (:mod:`repro.artifacts`) exists so consumers — sweep
+drivers, CI jobs, ``repro.exec`` worker fleets — cold-start a trained
+generative backend from disk instead of retraining it.  This benchmark
+quantifies that trade on the tiny reference config:
+
+* ``train_seconds`` — a short reference training run (the cost every
+  consumer would pay without the zoo),
+* ``save_seconds`` / ``load_seconds`` — checkpoint write and verified
+  cold-start (manifest + hash check + weight load),
+* ``cold_start_speedup`` — train/load ratio, gated at >= 5x (load is
+  milliseconds against seconds of training, so the margin is normally two
+  orders of magnitude),
+
+and asserts the restored backend samples bit-identically to the trained
+one.  Results merge into ``benchmarks/results/pipeline.json`` under the
+``zoo`` / ``zoo_series`` keys (see ``results_io``).
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_checkpoint.py``)
+or through pytest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from results_io import (
+    check_series_regression,
+    load_results,
+    merge_results,
+    series_entry,
+)
+
+#: The cold-start gate: restoring from disk must beat this multiple of the
+#: (deliberately short) reference training run.
+MIN_COLD_START_SPEEDUP = 5.0
+
+
+def run_checkpoint_benchmark() -> dict:
+    from repro.artifacts import load_channel, save_channel
+    from repro.channel import GenerativeChannel
+    from repro.core import ModelConfig, Trainer, build_model
+    from repro.data import generate_paired_dataset
+    from repro.flash import BlockGeometry, FlashChannel, FlashParameters
+
+    params = FlashParameters()
+    simulator = FlashChannel(params, geometry=BlockGeometry(16, 16),
+                             rng=np.random.default_rng(0))
+    dataset = generate_paired_dataset(simulator, pe_cycles=(4000.0, 10000.0),
+                                      arrays_per_pe=16, array_size=8)
+    config = dataclasses.replace(ModelConfig.tiny(), epochs=2)
+
+    start = time.perf_counter()
+    model = build_model("cvae_gan", config, rng=np.random.default_rng(1))
+    Trainer(model, dataset, params=params,
+            rng=np.random.default_rng(2)).train()
+    train_seconds = time.perf_counter() - start
+    channel = GenerativeChannel(model, params=params,
+                                rng=np.random.default_rng(3))
+
+    with tempfile.TemporaryDirectory() as workdir:
+        checkpoint = Path(workdir) / "reference"
+        start = time.perf_counter()
+        manifest = save_channel(channel, checkpoint)
+        save_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        restored = load_channel(checkpoint, run_probe=False)
+        load_seconds = time.perf_counter() - start
+
+        # The whole point of the zoo: the cold-started backend behaves
+        # bit-identically to the trained one.
+        levels = np.random.default_rng(4).integers(0, 8, size=(2, 16, 16))
+        reference = channel.read_voltages(levels, 7000.0,
+                                          rng=np.random.default_rng(5))
+        reloaded = restored.read_voltages(levels, 7000.0,
+                                          rng=np.random.default_rng(5))
+        if not np.array_equal(reference, reloaded):
+            raise AssertionError("restored backend is not bit-identical to "
+                                 "the trained one")
+        weight_bytes = manifest.files["weights.npz"]["size"]
+
+    return {
+        "train_seconds": train_seconds,
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "cold_start_speedup": train_seconds / max(load_seconds, 1e-9),
+        "weight_bytes": int(weight_bytes),
+        "parameters": int(model.num_parameters()),
+    }
+
+
+def write_results(results: dict) -> Path:
+    """Merge the ``zoo`` keys into the shared tracked-results file.
+
+    The tracked series carries only higher-is-better metrics —
+    ``check_series_regression`` alerts on *drops*, so raw timings (where a
+    regression is a *rise*) would be tracked with inverted semantics; they
+    stay available in the latest-run ``zoo`` key.
+    """
+    series = load_results().get("zoo_series", [])
+    series.append(series_entry(os.cpu_count() or 1, {
+        "cold_start_speedup": results["cold_start_speedup"],
+        "loads_per_second": 1.0 / max(results["load_seconds"], 1e-9),
+    }))
+    return merge_results({"zoo": results, "zoo_series": series})
+
+
+def check_zoo_series() -> list[str]:
+    return check_series_regression(load_results().get("zoo_series", []))
+
+
+def test_checkpoint_cold_start():
+    """Cold-start must beat retraining by a wide, stable margin."""
+    results = run_checkpoint_benchmark()
+    path = write_results(results)
+    print(f"\n--- {path} ---\n{json.dumps(results, indent=2)}\n")
+    for alert in check_zoo_series():
+        print(f"WARNING zoo series regression: {alert}")
+    assert results["cold_start_speedup"] >= MIN_COLD_START_SPEEDUP, (
+        f"cold start only {results['cold_start_speedup']:.1f}x faster than "
+        f"training (gate: {MIN_COLD_START_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    test_checkpoint_cold_start()

@@ -1,0 +1,72 @@
+"""The on-disk model zoo: checkpointed channel backends.
+
+Trained channels are long-lived artifacts: a generative backend is trained
+once and then loaded by many workers, sweeps and CI runs.  This package
+persists every trainable/fittable backend as a self-describing checkpoint
+directory — a versioned ``manifest.json`` (architecture registry name, full
+model config including dtype, normalization parameters, fitted baseline
+parameter dicts, training provenance, SHA-256 content hashes) next to the
+payload archives — and restores it cold with sampling **bit-identical** to
+the in-memory original:
+
+>>> from repro.artifacts import save_channel
+>>> save_channel(trained_channel, "zoo/cvae_gan-tiny")
+>>> channel = build_channel("cvae_gan", checkpoint="zoo/cvae_gan-tiny")
+
+``python -m repro.artifacts save|inspect|verify|load`` drives the same
+layer from the command line.
+"""
+
+from repro.artifacts.errors import (
+    CheckpointError,
+    CheckpointIntegrityError,
+    ManifestError,
+    RegistryMismatchError,
+    UnsupportedManifestVersionError,
+)
+from repro.artifacts.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    CheckpointManifest,
+)
+from repro.artifacts.store import (
+    file_sha256,
+    inspect_checkpoint,
+    read_manifest,
+    verify_checkpoint,
+)
+from repro.artifacts.checkpoint import (
+    load_baseline,
+    load_model,
+    save_baseline,
+    save_model,
+)
+from repro.artifacts.registry_io import (
+    check_probe,
+    compute_probe,
+    load_channel,
+    save_channel,
+)
+
+__all__ = [
+    "CheckpointError",
+    "ManifestError",
+    "UnsupportedManifestVersionError",
+    "CheckpointIntegrityError",
+    "RegistryMismatchError",
+    "MANIFEST_VERSION",
+    "MANIFEST_FILENAME",
+    "CheckpointManifest",
+    "file_sha256",
+    "read_manifest",
+    "verify_checkpoint",
+    "inspect_checkpoint",
+    "save_model",
+    "load_model",
+    "save_baseline",
+    "load_baseline",
+    "save_channel",
+    "load_channel",
+    "compute_probe",
+    "check_probe",
+]

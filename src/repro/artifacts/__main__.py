@@ -1,0 +1,7 @@
+"""Entry point of ``python -m repro.artifacts``."""
+
+import sys
+
+from repro.artifacts.cli import main
+
+sys.exit(main())

@@ -1,0 +1,332 @@
+"""Object layer of the model zoo: models and baselines to/from disk.
+
+Generative checkpoints store the full :class:`repro.core.ModelConfig`
+(including ``dtype``) next to the weight archive written by
+:mod:`repro.nn.serialization`, so ``load_model`` rebuilds the architecture
+from the registry and restores a model whose sampling is bit-identical to
+the one that was saved.  Baseline checkpoints store the fitted per-(P/E,
+level) parameter dicts as JSON (floats round-trip exactly through
+``repr``) and the empirical erased-level histograms as an ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.artifacts.errors import ManifestError, RegistryMismatchError
+from repro.artifacts.manifest import CheckpointManifest
+from repro.artifacts.store import (
+    read_manifest,
+    record_payload,
+    verify_checkpoint,
+    write_manifest,
+)
+from repro.flash.geometry import BlockGeometry
+from repro.flash.params import FlashParameters
+
+__all__ = ["WEIGHTS_FILENAME", "FITTED_FILENAME", "ERASED_FILENAME",
+           "save_model", "load_model", "save_baseline", "load_baseline",
+           "git_revision", "provenance", "config_to_dict",
+           "config_from_dict", "params_to_dict", "params_from_dict",
+           "geometry_to_dict", "geometry_from_dict"]
+
+#: Payload file of a generative checkpoint (``repro.nn.serialization``).
+WEIGHTS_FILENAME = "weights.npz"
+#: Fitted parameter dicts of a baseline checkpoint (JSON, exact floats).
+FITTED_FILENAME = "fitted.json"
+#: Empirical erased-level histograms of a baseline checkpoint.
+ERASED_FILENAME = "erased.npz"
+
+
+def git_revision(path: str | os.PathLike | None = None) -> str | None:
+    """The repository's HEAD revision, or None outside a git checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=path, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = result.stdout.strip()
+    return revision if result.returncode == 0 and revision else None
+
+
+# ---------------------------------------------------------------------- #
+# Config / parameter dict round-trips
+# ---------------------------------------------------------------------- #
+def _dataclass_to_jsonable(value) -> dict[str, Any]:
+    """Flat dataclass -> JSON-able dict (tuples become lists)."""
+    return {key: list(entry) if isinstance(entry, tuple) else entry
+            for key, entry in dataclasses.asdict(value).items()}
+
+
+def provenance(training: Mapping[str, Any] | None) -> dict[str, Any]:
+    """Training metadata with the git revision recorded when available.
+
+    The revision is resolved from this package's own location, not the
+    process working directory — a checkpoint saved from a notebook in an
+    unrelated repository must not record that repository's HEAD.
+    """
+    metadata = dict(training or {})
+    metadata.setdefault("git_revision", git_revision(Path(__file__).parent))
+    return metadata
+
+
+def config_to_dict(config) -> dict[str, Any]:
+    """``ModelConfig`` -> JSON-able dict (tuples become lists)."""
+    return _dataclass_to_jsonable(config)
+
+
+def config_from_dict(data: Mapping[str, Any]):
+    """Rebuild a ``ModelConfig`` from its manifest dict."""
+    from repro.core.config import ModelConfig
+
+    fields = {field.name for field in dataclasses.fields(ModelConfig)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ManifestError(f"model_config has unknown fields {sorted(unknown)}")
+    kwargs = {key: tuple(value) if isinstance(value, list) else value
+              for key, value in data.items()}
+    try:
+        return ModelConfig(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ManifestError(f"invalid model_config: {error}") from error
+
+
+def params_to_dict(params: FlashParameters) -> dict[str, Any]:
+    return _dataclass_to_jsonable(params)
+
+
+def params_from_dict(data: Mapping[str, Any] | None) -> FlashParameters | None:
+    if data is None:
+        return None
+    kwargs = {key: tuple(value) if isinstance(value, list) else value
+              for key, value in data.items()}
+    try:
+        return FlashParameters(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ManifestError(f"invalid flash parameters: {error}") from error
+
+
+def geometry_to_dict(geometry: BlockGeometry) -> dict[str, Any]:
+    return dataclasses.asdict(geometry)
+
+
+def geometry_from_dict(data: Mapping[str, Any] | None) -> BlockGeometry | None:
+    if data is None:
+        return None
+    try:
+        return BlockGeometry(**dict(data))
+    except (TypeError, ValueError) as error:
+        raise ManifestError(f"invalid block geometry: {error}") from error
+
+
+# ---------------------------------------------------------------------- #
+# Generative models
+# ---------------------------------------------------------------------- #
+def _detect_model_kwargs(model) -> dict[str, Any]:
+    """Constructor arguments that change the architecture's shape.
+
+    Every architecture routes ``condition_on_pe`` into its U-Net generator;
+    it must round-trip or the restored module's parameter shapes differ.
+    """
+    generator = getattr(model, "generator", None)
+    condition_on_pe = getattr(generator, "condition_on_pe", True)
+    return {} if condition_on_pe else {"condition_on_pe": False}
+
+
+def save_model(model, directory: str | os.PathLike, *,
+               params: FlashParameters | None = None,
+               geometry: BlockGeometry | None = None,
+               training: Mapping[str, Any] | None = None,
+               probe: Mapping[str, Any] | None = None) -> CheckpointManifest:
+    """Write a trained generative model as a checkpoint directory.
+
+    ``params`` (the normalization statistics) and ``geometry`` are recorded
+    when given so a channel adapter can be rebuilt exactly;
+    ``training`` is free-form provenance (epochs, seed, dataset summary) —
+    the git revision is added automatically when available.
+    """
+    from repro.core.base import ConditionalGenerativeModel
+    from repro.nn.serialization import save_state_dict
+
+    if not isinstance(model, ConditionalGenerativeModel):
+        raise TypeError("save_model expects a ConditionalGenerativeModel, "
+                        f"got {type(model).__name__}")
+    if not model.name:
+        raise ValueError(f"{type(model).__name__} has no registry name; "
+                         "only registered architectures can be checkpointed")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest = CheckpointManifest(
+        kind="generative",
+        registry_name=model.name,
+        model_config=config_to_dict(model.config),
+        model_kwargs=_detect_model_kwargs(model),
+        params=params_to_dict(params) if params is not None else None,
+        geometry=geometry_to_dict(geometry) if geometry is not None else None,
+        training=provenance(training),
+        probe=dict(probe) if probe is not None else None,
+    )
+    save_state_dict(model.state_dict(), directory / WEIGHTS_FILENAME)
+    record_payload(manifest, directory, WEIGHTS_FILENAME)
+    write_manifest(directory, manifest)
+    return manifest
+
+
+def load_model(directory: str | os.PathLike, *,
+               expected_architecture: str | None = None,
+               verify: bool = True,
+               manifest: CheckpointManifest | None = None):
+    """Rebuild a generative model from a checkpoint directory.
+
+    The architecture is instantiated from ``MODEL_REGISTRY`` with the
+    stored config (same ``dtype``, same shapes) and the weight archive is
+    loaded on top, so sampling from the result is bit-identical to the
+    saved model.  A caller that already read and verified the checkpoint
+    passes its ``manifest`` (with ``verify=False``) to skip the repeated
+    hashing and manifest parse.
+    """
+    from repro.core.zoo import MODEL_REGISTRY
+    from repro.nn.serialization import load_state_dict
+
+    directory = Path(directory)
+    if manifest is None:
+        manifest = verify_checkpoint(directory) if verify \
+            else read_manifest(directory)
+    if manifest.kind != "generative":
+        raise RegistryMismatchError(
+            f"checkpoint at {directory} stores a {manifest.kind!r} backend, "
+            "not a generative model")
+    if (expected_architecture is not None
+            and manifest.registry_name != expected_architecture):
+        raise RegistryMismatchError(
+            f"checkpoint stores architecture {manifest.registry_name!r} but "
+            f"{expected_architecture!r} was requested")
+    if manifest.registry_name not in MODEL_REGISTRY:
+        raise RegistryMismatchError(
+            f"checkpoint architecture {manifest.registry_name!r} is not in "
+            f"the model registry; available: {sorted(MODEL_REGISTRY)}")
+    if manifest.model_config is None:
+        raise ManifestError("generative checkpoint has no model_config")
+    config = config_from_dict(manifest.model_config)
+    try:
+        model = MODEL_REGISTRY[manifest.registry_name](
+            config, rng=np.random.default_rng(0), **manifest.model_kwargs)
+    except TypeError as error:
+        raise ManifestError(
+            f"invalid model_kwargs for architecture "
+            f"{manifest.registry_name!r}: {error}") from error
+    state = load_state_dict(directory / WEIGHTS_FILENAME)
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise ManifestError(
+            f"weight archive does not match architecture "
+            f"{manifest.registry_name!r}: {error}") from error
+    model.eval()
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Statistical baselines
+# ---------------------------------------------------------------------- #
+def save_baseline(model, directory: str | os.PathLike, *,
+                  geometry: BlockGeometry | None = None,
+                  adapter: Mapping[str, Any] | None = None,
+                  training: Mapping[str, Any] | None = None,
+                  probe: Mapping[str, Any] | None = None) -> CheckpointManifest:
+    """Write a fitted statistical baseline as a checkpoint directory."""
+    import json
+
+    from repro.baselines.models import StatisticalChannelModel
+
+    if not isinstance(model, StatisticalChannelModel):
+        raise TypeError("save_baseline expects a StatisticalChannelModel, "
+                        f"got {type(model).__name__}")
+    if not model.fitted:
+        raise ValueError("baseline model has no fitted parameters; call "
+                         "fit() before saving")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    fitted, erased = model.fitted_state()
+    manifest = CheckpointManifest(
+        kind="baseline",
+        registry_name=model.family,
+        baseline={"family": model.family, "bins": model.bins,
+                  "pe_cycles": sorted(float(pe) for pe in model.fitted)},
+        params=params_to_dict(model.params),
+        geometry=geometry_to_dict(geometry) if geometry is not None else None,
+        adapter=dict(adapter or {}),
+        training=provenance(training),
+        probe=dict(probe) if probe is not None else None,
+    )
+    (directory / FITTED_FILENAME).write_text(
+        json.dumps(fitted, indent=2, sort_keys=True) + "\n")
+    archive = {}
+    for pe_key, (centers, probabilities) in erased.items():
+        archive[f"centers:{pe_key}"] = centers
+        archive[f"probabilities:{pe_key}"] = probabilities
+    np.savez_compressed(directory / ERASED_FILENAME, **archive)
+    record_payload(manifest, directory, FITTED_FILENAME)
+    record_payload(manifest, directory, ERASED_FILENAME)
+    write_manifest(directory, manifest)
+    return manifest
+
+
+def load_baseline(directory: str | os.PathLike, *,
+                  expected_family: str | None = None, verify: bool = True,
+                  manifest: CheckpointManifest | None = None):
+    """Rebuild a fitted statistical baseline from a checkpoint directory."""
+    import json
+
+    from repro.baselines.models import BASELINE_MODELS
+
+    directory = Path(directory)
+    if manifest is None:
+        manifest = verify_checkpoint(directory) if verify \
+            else read_manifest(directory)
+    if manifest.kind != "baseline":
+        raise RegistryMismatchError(
+            f"checkpoint at {directory} stores a {manifest.kind!r} backend, "
+            "not a statistical baseline")
+    if (expected_family is not None
+            and manifest.registry_name != expected_family):
+        raise RegistryMismatchError(
+            f"checkpoint stores baseline family {manifest.registry_name!r} "
+            f"but {expected_family!r} was requested")
+    families = {cls.family: cls for cls in BASELINE_MODELS}
+    if manifest.registry_name not in families:
+        raise RegistryMismatchError(
+            f"checkpoint baseline family {manifest.registry_name!r} is "
+            f"unknown; available: {sorted(families)}")
+    params = params_from_dict(manifest.params)
+    bins = int((manifest.baseline or {}).get("bins", 200))
+    model = families[manifest.registry_name](params, bins=bins)
+
+    try:
+        fitted = json.loads((directory / FITTED_FILENAME).read_text())
+    except (OSError, ValueError) as error:
+        raise ManifestError(f"cannot parse {FITTED_FILENAME}: {error}") \
+            from error
+    erased: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    with np.load(directory / ERASED_FILENAME) as archive:
+        for key in archive.files:
+            prefix, _, pe_key = key.partition(":")
+            if prefix != "centers":
+                continue
+            probabilities_key = f"probabilities:{pe_key}"
+            if probabilities_key not in archive.files:
+                raise ManifestError(
+                    f"{ERASED_FILENAME} is malformed: {key!r} has no "
+                    f"matching {probabilities_key!r} entry")
+            erased[pe_key] = (archive[key], archive[probabilities_key])
+    model.load_fitted_state(fitted, erased)
+    return model

@@ -1,0 +1,38 @@
+"""Typed errors of the on-disk model zoo.
+
+Every failure mode of checkpoint loading has its own exception class so
+callers (and the CLI's exit codes) can distinguish "the file is damaged"
+from "you asked for the wrong backend" from "this checkpoint comes from a
+newer version of the code" — instead of loading garbage or dying inside
+NumPy with an opaque message.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointError",
+    "ManifestError",
+    "UnsupportedManifestVersionError",
+    "CheckpointIntegrityError",
+    "RegistryMismatchError",
+]
+
+
+class CheckpointError(Exception):
+    """Base class of every model-zoo failure."""
+
+
+class ManifestError(CheckpointError):
+    """The manifest is missing, unparseable, or structurally invalid."""
+
+
+class UnsupportedManifestVersionError(ManifestError):
+    """The manifest was written by a newer format than this code reads."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A payload file is missing or its content hash does not match."""
+
+
+class RegistryMismatchError(CheckpointError):
+    """The checkpoint stores a different backend than the one requested."""

@@ -1,0 +1,167 @@
+"""The versioned checkpoint manifest.
+
+A checkpoint directory is self-describing: ``manifest.json`` records what
+kind of backend is stored (generative network, fitted statistical baseline,
+or the physical simulator), under which registry name, with which
+configuration, normalization parameters and training provenance, and the
+SHA-256 hash of every payload file.  Loading starts from the manifest and
+never trusts a payload file that does not match its recorded hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.artifacts.errors import ManifestError, UnsupportedManifestVersionError
+
+__all__ = ["MANIFEST_VERSION", "MANIFEST_FILENAME", "CHECKPOINT_KINDS",
+           "CheckpointManifest"]
+
+#: Format version written by this code; readers reject anything newer.
+MANIFEST_VERSION = 1
+
+#: File name of the manifest inside a checkpoint directory.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Backend families the zoo can persist.
+CHECKPOINT_KINDS = ("generative", "baseline", "simulator")
+
+#: Fields a manifest dict must carry to be loadable at all.
+_REQUIRED_FIELDS = ("format_version", "kind", "registry_name", "files")
+
+
+@dataclass
+class CheckpointManifest:
+    """Everything needed to rebuild a channel backend from disk.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`CHECKPOINT_KINDS`.
+    registry_name:
+        The :data:`repro.channel.CHANNEL_REGISTRY` /
+        :data:`repro.core.zoo.MODEL_REGISTRY` name of the stored backend
+        (``"cvae_gan"``, ``"gaussian"``, ``"simulator"``, ...).
+    model_config:
+        Full :class:`repro.core.ModelConfig` as a dict (generative only),
+        including the working ``dtype`` — a float32 checkpoint restores a
+        float32 model.
+    model_kwargs:
+        Extra architecture constructor arguments recorded at save time
+        (e.g. ``condition_on_pe=False`` for the ablation models).
+    baseline:
+        Statistical-baseline metadata (``family``, ``bins``, fitted P/E
+        read points); the fitted parameters themselves live in payload
+        files.
+    params:
+        :class:`repro.flash.FlashParameters` as a dict — the normalization
+        statistics (voltage window, reference P/E count) every adapter
+        derives its normalizers from.
+    geometry:
+        :class:`repro.flash.BlockGeometry` as a dict.
+    adapter:
+        Behaviour-affecting adapter construction flags recorded at save
+        time (``apply_ici`` for the simulator, ``strict_pe`` for
+        baselines), applied as defaults when the channel is rebuilt —
+        without them a restored backend could silently behave differently
+        from the saved one.
+    training:
+        Free-form provenance: epochs, seed, git revision, dataset summary,
+        final losses.  Never consulted when rebuilding the backend.
+    probe:
+        Behavioural fingerprint — seed, P/E count, shape and SHA-256 digest
+        of a fixed-seed ``read_voltages`` draw taken from the live backend
+        at save time.  ``load --check-probe`` and the tests replay it to
+        assert the restored backend samples bit-identically.
+    files:
+        ``{relative payload name: {"sha256": hex, "size": bytes}}``.
+    """
+
+    kind: str
+    registry_name: str
+    format_version: int = MANIFEST_VERSION
+    model_config: dict[str, Any] | None = None
+    model_kwargs: dict[str, Any] = field(default_factory=dict)
+    baseline: dict[str, Any] | None = None
+    params: dict[str, Any] | None = None
+    geometry: dict[str, Any] | None = None
+    adapter: dict[str, Any] = field(default_factory=dict)
+    training: dict[str, Any] = field(default_factory=dict)
+    probe: dict[str, Any] | None = None
+    files: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in CHECKPOINT_KINDS:
+            raise ManifestError(f"unknown checkpoint kind {self.kind!r}; "
+                                f"expected one of {CHECKPOINT_KINDS}")
+        if not self.registry_name:
+            raise ManifestError("manifest field 'registry_name' is empty")
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": self.format_version,
+            "kind": self.kind,
+            "registry_name": self.registry_name,
+            "model_config": self.model_config,
+            "model_kwargs": self.model_kwargs,
+            "baseline": self.baseline,
+            "params": self.params,
+            "geometry": self.geometry,
+            "adapter": self.adapter,
+            "training": self.training,
+            "probe": self.probe,
+            "files": self.files,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckpointManifest":
+        """Validate a raw manifest dict and build the typed record.
+
+        Raises
+        ------
+        ManifestError
+            A required field is missing or malformed.
+        UnsupportedManifestVersionError
+            The manifest was written by a newer format version.
+        """
+        if not isinstance(data, Mapping):
+            raise ManifestError("manifest must be a JSON object, got "
+                                f"{type(data).__name__}")
+        missing = [name for name in _REQUIRED_FIELDS if name not in data]
+        if missing:
+            raise ManifestError(f"manifest is missing required fields: "
+                                f"{missing}")
+        version = data["format_version"]
+        if not isinstance(version, int):
+            raise ManifestError("manifest field 'format_version' must be an "
+                                f"integer, got {version!r}")
+        if version > MANIFEST_VERSION:
+            raise UnsupportedManifestVersionError(
+                f"checkpoint format version {version} is newer than the "
+                f"supported version {MANIFEST_VERSION}; upgrade the code to "
+                "read this checkpoint")
+        files = data["files"]
+        if not isinstance(files, Mapping) or not all(
+                isinstance(entry, Mapping) and "sha256" in entry
+                for entry in files.values()):
+            raise ManifestError("manifest field 'files' must map payload "
+                                "names to {'sha256': ..., 'size': ...} "
+                                "entries")
+        return cls(
+            kind=data["kind"],
+            registry_name=data["registry_name"],
+            format_version=version,
+            model_config=data.get("model_config"),
+            model_kwargs=dict(data.get("model_kwargs") or {}),
+            baseline=data.get("baseline"),
+            params=data.get("params"),
+            geometry=data.get("geometry"),
+            adapter=dict(data.get("adapter") or {}),
+            training=dict(data.get("training") or {}),
+            probe=data.get("probe"),
+            files={str(name): dict(entry) for name, entry in files.items()},
+        )

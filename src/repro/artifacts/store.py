@@ -1,0 +1,107 @@
+"""Filesystem layer of the model zoo: manifest I/O and content hashing.
+
+A checkpoint is a plain directory — ``manifest.json`` next to its payload
+files (``weights.npz`` for generative backends, ``fitted.json`` +
+``erased.npz`` for baselines).  This module owns reading/writing that
+layout and verifying it: every payload file's SHA-256 is recorded in the
+manifest at save time and re-checked before anything is deserialized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.artifacts.errors import CheckpointIntegrityError, ManifestError
+from repro.artifacts.manifest import MANIFEST_FILENAME, CheckpointManifest
+
+__all__ = ["file_sha256", "write_manifest", "read_manifest",
+           "record_payload", "verify_checkpoint", "inspect_checkpoint"]
+
+
+def file_sha256(path: str | os.PathLike) -> str:
+    """SHA-256 hex digest of a file's content, streamed in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def record_payload(manifest: CheckpointManifest, directory: str | os.PathLike,
+                   name: str) -> None:
+    """Hash a freshly written payload file into the manifest's file table."""
+    path = Path(directory) / name
+    manifest.files[name] = {"sha256": file_sha256(path),
+                            "size": path.stat().st_size}
+
+
+def write_manifest(directory: str | os.PathLike,
+                   manifest: CheckpointManifest) -> Path:
+    """Write ``manifest.json`` into a checkpoint directory."""
+    path = Path(directory) / MANIFEST_FILENAME
+    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def read_manifest(directory: str | os.PathLike) -> CheckpointManifest:
+    """Read and validate the manifest of a checkpoint directory.
+
+    Raises :class:`ManifestError` when the directory is not a checkpoint
+    (no manifest), the JSON is unparseable, or required fields are missing;
+    :class:`UnsupportedManifestVersionError` on a future format version.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_FILENAME
+    if not path.is_file():
+        raise ManifestError(f"{directory} is not a checkpoint: missing "
+                            f"{MANIFEST_FILENAME}")
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise ManifestError(f"cannot parse {path}: {error}") from error
+    return CheckpointManifest.from_dict(data)
+
+
+def verify_checkpoint(directory: str | os.PathLike) -> CheckpointManifest:
+    """Validate the manifest and every payload file's content hash.
+
+    Returns the manifest on success.  Raises
+    :class:`CheckpointIntegrityError` when a payload file is missing or its
+    SHA-256 differs from the recorded one — the archive was corrupted or
+    tampered with, and must not be deserialized.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    for name, entry in manifest.files.items():
+        path = directory / name
+        if not path.is_file():
+            raise CheckpointIntegrityError(
+                f"payload file {name!r} listed in the manifest is missing "
+                f"from {directory}")
+        actual = file_sha256(path)
+        if actual != entry["sha256"]:
+            raise CheckpointIntegrityError(
+                f"payload file {name!r} is corrupted: sha256 {actual} does "
+                f"not match the recorded {entry['sha256']}")
+    return manifest
+
+
+def inspect_checkpoint(directory: str | os.PathLike) -> dict:
+    """Manifest contents plus on-disk payload status, for reporting.
+
+    Unlike :func:`verify_checkpoint` this never hashes payloads — it is the
+    cheap read used by ``python -m repro.artifacts inspect``.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    report = manifest.to_dict()
+    for name, entry in report["files"].items():
+        path = directory / name
+        entry["present"] = path.is_file()
+        if path.is_file():
+            entry["size_on_disk"] = path.stat().st_size
+    return report

@@ -152,6 +152,42 @@ class StatisticalChannelModel:
         fits = self._require_fit(pe_cycles)
         return float(sum(fit["kl"] for fit in fits.values()))
 
+    # ------------------------------------------------------------------ #
+    # Fitted-state round-trip (the on-disk model zoo, repro.artifacts)
+    # ------------------------------------------------------------------ #
+    def fitted_state(self) -> tuple[dict, dict]:
+        """Export the fitted state for checkpointing.
+
+        Returns ``(fitted, erased)``: the per-(P/E, level) parameter dicts
+        with ``repr``-encoded float keys (every finite float round-trips
+        exactly through ``float(repr(x))``, so a restored model samples
+        bit-identically), and the empirical erased-level histograms as
+        ``{pe_key: (bin_centers, probabilities)}`` arrays.
+        """
+        fitted = {repr(float(pe)): {str(level): {name: float(value)
+                                                 for name, value
+                                                 in parameters.items()}
+                                    for level, parameters in levels.items()}
+                  for pe, levels in self.fitted.items()}
+        erased = {repr(float(pe)): (np.array(centers), np.array(probabilities))
+                  for pe, (centers, probabilities)
+                  in self._erased_histograms.items()}
+        return fitted, erased
+
+    def load_fitted_state(self, fitted: dict,
+                          erased: dict) -> "StatisticalChannelModel":
+        """Restore the fitted state exported by :meth:`fitted_state`."""
+        self.fitted = {float(pe): {int(level): {name: float(value)
+                                                for name, value
+                                                in parameters.items()}
+                                   for level, parameters in levels.items()}
+                       for pe, levels in fitted.items()}
+        self._erased_histograms = {
+            float(pe): (np.asarray(centers, dtype=float),
+                        np.asarray(probabilities, dtype=float))
+            for pe, (centers, probabilities) in erased.items()}
+        return self
+
 
 class GaussianChannelModel(StatisticalChannelModel):
     """Gaussian per-level model (Cai et al., DATE 2013)."""

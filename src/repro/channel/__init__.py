@@ -22,6 +22,7 @@ from repro.channel.registry import (
     build_channel,
     register_channel,
     resolve_channel,
+    save_channel,
 )
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "BaselineChannel",
     "CHANNEL_REGISTRY",
     "build_channel",
+    "save_channel",
     "register_channel",
     "resolve_channel",
 ]

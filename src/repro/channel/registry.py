@@ -6,6 +6,12 @@ loop, the figure drivers — selects a channel backend by configuration string:
 >>> channel = build_channel("simulator", rng=np.random.default_rng(0))
 >>> channel = build_channel("gaussian", dataset=paired_dataset)
 >>> channel = build_channel("cvae_gan", model=trained_model)
+>>> channel = build_channel("cvae_gan", checkpoint="zoo/cvae_gan-tiny")
+
+The last form is the on-disk model zoo (:mod:`repro.artifacts`): the
+backend is cold-started from a checkpoint directory — no retraining, no
+refitting — with sampling bit-identical to the model that was saved;
+``save_channel`` writes such checkpoints.
 
 ``resolve_channel`` additionally accepts already-built backends and the
 legacy concrete classes (:class:`repro.flash.FlashChannel`,
@@ -36,7 +42,7 @@ from repro.core.base import ConditionalGenerativeModel
 from repro.flash.channel import FlashChannel
 
 __all__ = ["CHANNEL_REGISTRY", "register_channel", "build_channel",
-           "resolve_channel"]
+           "save_channel", "resolve_channel"]
 
 #: Factories keyed by backend name; each maps ``(**kwargs) -> ChannelModel``.
 CHANNEL_REGISTRY: dict[str, Callable[..., ChannelModel]] = {}
@@ -121,12 +127,38 @@ def build_channel(name: str, **kwargs) -> ChannelModel:
         Backend-specific options, notably ``rng`` (the single generator
         threaded through every stochastic operation), ``params``,
         ``geometry``; plus ``model``/``config`` for generative backends and
-        ``model``/``dataset`` for baselines.
+        ``model``/``dataset`` for baselines.  ``checkpoint=path`` restores
+        the backend from an on-disk checkpoint instead of building it fresh
+        (:mod:`repro.artifacts`); the stored backend must match ``name``
+        (``"generative"`` accepts any generative architecture) or a
+        :class:`repro.artifacts.RegistryMismatchError` is raised.
     """
     if name not in CHANNEL_REGISTRY:
         raise ValueError(f"unknown channel backend {name!r}; available: "
                          f"{sorted(CHANNEL_REGISTRY)}")
+    checkpoint = kwargs.pop("checkpoint", None)
+    if checkpoint is not None:
+        if "model" in kwargs or "config" in kwargs or "dataset" in kwargs:
+            raise TypeError("checkpoint=... replaces the model/config/"
+                            "dataset arguments; pass one or the other")
+        from repro.artifacts.registry_io import load_channel
+
+        return load_channel(checkpoint, expected=name, **kwargs)
     return CHANNEL_REGISTRY[name](**kwargs)
+
+
+def save_channel(channel, directory, **kwargs):
+    """Checkpoint a channel backend to ``directory`` (the model zoo).
+
+    The registry-level spelling of :func:`repro.artifacts.save_channel`:
+    accepts any supported backend (generative adapter or bare model,
+    fitted baseline, simulator) and writes a self-describing checkpoint
+    directory that :func:`build_channel` can restore with
+    ``checkpoint=directory``.
+    """
+    from repro.artifacts.registry_io import save_channel as _save
+
+    return _save(channel, directory, **kwargs)
 
 
 def resolve_channel(channel, **kwargs) -> ChannelModel:

@@ -23,7 +23,7 @@ from repro.core.cvae import ConditionalVAE
 from repro.core.bicycle_gan import BicycleGAN
 from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.sampling import GenerativeChannelModel
-from repro.core.zoo import build_model, MODEL_REGISTRY
+from repro.core.zoo import build_model, load_model, MODEL_REGISTRY
 
 __all__ = [
     "ModelConfig",
@@ -42,5 +42,6 @@ __all__ = [
     "TrainingHistory",
     "GenerativeChannelModel",
     "build_model",
+    "load_model",
     "MODEL_REGISTRY",
 ]

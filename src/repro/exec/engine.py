@@ -45,8 +45,9 @@ def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
         Worker count for pool executors (defaults to the CPU count).
     num_shards:
         Number of shards to cut the plan into; defaults to the executor's
-        one-shard-per-worker policy.  A pure throughput knob: results are
-        bit-identical for any value.
+        worker count times the plan's ``shards_per_worker`` oversharding
+        factor.  A pure throughput knob: results are bit-identical for any
+        value.
     merge_caches:
         Fold per-worker condition-cache entries back into the parent context
         objects (only applies to executors that do not share memory).
@@ -57,7 +58,8 @@ def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
                             workers)
     try:
         shards = plan.shards(num_shards if num_shards is not None
-                             else backend.default_shards())
+                             else backend.default_shards()
+                             * plan.shards_per_worker)
         shard_results = sorted(backend.map_shards(shards),
                                key=lambda result: result.index)
     finally:

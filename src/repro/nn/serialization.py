@@ -18,6 +18,14 @@ _KEY_ESCAPE = "__dot__"
 
 
 def _encode_key(key: str) -> str:
+    # A key that already contains the escape sentinel would decode to a
+    # different name than it was saved under (e.g. "a__dot__b" comes back
+    # as "a.b"), silently corrupting the archive's key set.
+    if _KEY_ESCAPE in key:
+        raise ValueError(
+            f"state-dict key {key!r} contains the reserved escape sequence "
+            f"{_KEY_ESCAPE!r} and would not round-trip; rename the "
+            "parameter or buffer")
     return key.replace(".", _KEY_ESCAPE)
 
 
@@ -26,7 +34,11 @@ def _decode_key(key: str) -> str:
 
 
 def save_state_dict(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
-    """Write a ``state_dict`` to ``path`` as a compressed npz archive."""
+    """Write a ``state_dict`` to ``path`` as a compressed npz archive.
+
+    Raises :class:`ValueError` when a key contains the literal dot-escape
+    sentinel, which could not be decoded back to the original name.
+    """
     encoded = {_encode_key(key): np.asarray(value) for key, value in state.items()}
     np.savez_compressed(os.fspath(path), **encoded)
 

@@ -1,0 +1,217 @@
+"""Checkpoint failure modes raise clear typed errors, never load garbage.
+
+Covers the satellite checklist: corrupted weight archive (hash mismatch),
+manifest/registry-name mismatch, missing manifest fields, and an
+unsupported future manifest version — plus the adjacent failure surfaces
+(missing payloads, unparseable manifests, probe mismatches).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    CheckpointError,
+    CheckpointIntegrityError,
+    ManifestError,
+    RegistryMismatchError,
+    UnsupportedManifestVersionError,
+    load_channel,
+    save_baseline,
+    verify_checkpoint,
+)
+from repro.baselines.models import GaussianChannelModel
+from repro.channel import build_channel
+
+
+def edit_manifest(path, mutate):
+    """Apply ``mutate`` to the manifest dict on disk and write it back."""
+    manifest_path = path / "manifest.json"
+    data = json.loads(manifest_path.read_text())
+    mutate(data)
+    manifest_path.write_text(json.dumps(data))
+
+
+class TestCorruptedPayloads:
+    def test_flipped_bytes_raise_integrity_error(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        weights = path / "weights.npz"
+        blob = bytearray(weights.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        weights.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointIntegrityError, match="corrupted"):
+            build_channel("cvae_gan", checkpoint=path)
+
+    def test_truncated_archive_raises_integrity_error(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        weights = path / "weights.npz"
+        weights.write_bytes(weights.read_bytes()[:100])
+        with pytest.raises(CheckpointIntegrityError):
+            verify_checkpoint(path)
+
+    def test_missing_payload_raises_integrity_error(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        (path / "weights.npz").unlink()
+        with pytest.raises(CheckpointIntegrityError, match="missing"):
+            build_channel("cvae_gan", checkpoint=path)
+
+
+class TestRegistryMismatch:
+    def test_wrong_architecture_requested(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        with pytest.raises(RegistryMismatchError, match="cvae_gan"):
+            build_channel("cgan", checkpoint=path)
+
+    def test_wrong_backend_family_requested(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        with pytest.raises(RegistryMismatchError):
+            build_channel("gaussian", checkpoint=path)
+
+    def test_generative_alias_rejects_baseline(self, tmp_path, params,
+                                               dataset):
+        model = GaussianChannelModel(params).fit(dataset, max_iterations=40)
+        path = tmp_path / "gaussian"
+        save_baseline(model, path)
+        with pytest.raises(RegistryMismatchError):
+            build_channel("generative", checkpoint=path)
+
+    def test_edited_registry_name_fails_on_weight_keys(self, tmp_path):
+        """A lying manifest cannot smuggle weights into another arch."""
+        from repro.artifacts import save_model
+        from repro.core import ModelConfig, build_model
+
+        model = build_model("cgan", ModelConfig.tiny(),
+                            rng=np.random.default_rng(0))
+        path = tmp_path / "cgan"
+        save_model(model, path)
+        edit_manifest(path, lambda data:
+                      data.__setitem__("registry_name", "cvae_gan"))
+        # cvae_gan needs encoder weights the cgan archive does not carry.
+        with pytest.raises(ManifestError, match="does not match"):
+            build_channel("cvae_gan", checkpoint=path)
+
+    def test_unknown_registry_name(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data.__setitem__("registry_name", "resnet50"))
+        with pytest.raises(RegistryMismatchError, match="resnet50"):
+            load_channel(path)
+
+
+class TestManifestValidation:
+    @pytest.mark.parametrize("field", ["format_version", "kind",
+                                       "registry_name", "files"])
+    def test_missing_required_field(self, saved_checkpoint, field):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data: data.pop(field))
+        with pytest.raises(ManifestError, match="missing required"):
+            load_channel(path)
+
+    def test_future_format_version(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data.__setitem__("format_version", 99))
+        with pytest.raises(UnsupportedManifestVersionError, match="99"):
+            build_channel("cvae_gan", checkpoint=path)
+
+    def test_future_version_is_a_manifest_and_checkpoint_error(self):
+        assert issubclass(UnsupportedManifestVersionError, ManifestError)
+        assert issubclass(ManifestError, CheckpointError)
+        assert issubclass(CheckpointIntegrityError, CheckpointError)
+        assert issubclass(RegistryMismatchError, CheckpointError)
+
+    def test_unknown_kind(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data: data.__setitem__("kind", "oracle"))
+        with pytest.raises(ManifestError, match="oracle"):
+            load_channel(path)
+
+    def test_missing_model_config(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data.__setitem__("model_config", None))
+        with pytest.raises(ManifestError, match="model_config"):
+            load_channel(path)
+
+    def test_invalid_model_config_values(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data["model_config"].__setitem__("dtype", "float16"))
+        with pytest.raises(ManifestError, match="model_config"):
+            load_channel(path)
+
+    def test_invalid_model_kwargs(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data.__setitem__("model_kwargs", {"bogus_flag": True}))
+        with pytest.raises(ManifestError, match="model_kwargs"):
+            load_channel(path)
+
+    def test_erased_archive_missing_probabilities(self, tmp_path, params,
+                                                  dataset):
+        """A manifest-consistent but malformed erased archive raises a
+        typed error instead of a bare NumPy KeyError."""
+        from repro.artifacts.checkpoint import ERASED_FILENAME
+        from repro.artifacts.store import record_payload, write_manifest
+
+        model = GaussianChannelModel(params).fit(dataset, max_iterations=40)
+        path = tmp_path / "gaussian"
+        save_baseline(model, path)
+        with np.load(path / ERASED_FILENAME) as archive:
+            centers_only = {key: archive[key] for key in archive.files
+                            if key.startswith("centers:")}
+        np.savez_compressed(path / ERASED_FILENAME, **centers_only)
+        # Re-record the hash so only the malformed structure can fail.
+        from repro.artifacts import read_manifest
+
+        manifest = read_manifest(path)
+        record_payload(manifest, path, ERASED_FILENAME)
+        write_manifest(path, manifest)
+        with pytest.raises(ManifestError, match="malformed"):
+            load_channel(path)
+
+    def test_unparseable_manifest(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(ManifestError, match="parse"):
+            load_channel(path)
+
+    def test_directory_without_manifest(self, tmp_path):
+        with pytest.raises(ManifestError, match="not a checkpoint"):
+            build_channel("cvae_gan", checkpoint=tmp_path)
+
+
+class TestProbeAndArguments:
+    def test_tampered_probe_digest_fails_replay(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        edit_manifest(path, lambda data:
+                      data["probe"].__setitem__("sha256", "0" * 64))
+        with pytest.raises(CheckpointIntegrityError,
+                           match="not bit-identical"):
+            load_channel(path, run_probe=True)
+
+    def test_probe_requested_but_absent(self, tmp_path, trained_channels):
+        from repro.artifacts import save_channel
+
+        path = tmp_path / "noprobe"
+        save_channel(trained_channels["float32"], path, probe=False)
+        with pytest.raises(ManifestError, match="probe"):
+            load_channel(path, run_probe=True)
+
+    def test_checkpoint_excludes_model_arguments(self, saved_checkpoint):
+        path, _ = saved_checkpoint
+        with pytest.raises(TypeError, match="checkpoint"):
+            build_channel("cvae_gan", checkpoint=path, config=object())
+
+    def test_unfitted_baseline_cannot_be_saved(self, tmp_path, params):
+        with pytest.raises(ValueError, match="fitted"):
+            save_baseline(GaussianChannelModel(params), tmp_path / "x")
+
+    def test_unsupported_object_cannot_be_saved(self, tmp_path):
+        from repro.artifacts import save_channel
+
+        with pytest.raises(TypeError, match="cannot checkpoint"):
+            save_channel(np.zeros(3), tmp_path / "x")

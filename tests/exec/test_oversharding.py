@@ -1,0 +1,92 @@
+"""Oversharding (``MonteCarloPlan.shards_per_worker``) is output-invariant.
+
+The knob cuts a plan into ``workers * factor`` contiguous shards so pool
+executors absorb per-unit cost variance.  Because randomness is anchored
+per unit, the per-unit results — and therefore every reduction — must be
+bit-identical for any factor and executor (the determinism contract of
+``repro.exec``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exec import MonteCarloPlan, run_plan
+from repro.exec.executors import SerialExecutor
+
+
+def draw_unit(unit, rng, scale=1.0):
+    """A toy Monte-Carlo task: per-unit random draws."""
+    return float(unit) * scale + rng.standard_normal(3).sum()
+
+
+class RecordingExecutor(SerialExecutor):
+    """Serial execution that records how many shards the engine cut."""
+
+    def __init__(self, workers):
+        super().__init__(workers)
+        self.shard_counts: list[int] = []
+
+    def map_shards(self, shards):
+        self.shard_counts.append(len(shards))
+        return super().map_shards(shards)
+
+
+@pytest.fixture()
+def plan():
+    return MonteCarloPlan(task=draw_unit, units=tuple(range(24)), seed=42,
+                          context={"scale": 0.5})
+
+
+class TestValidation:
+    def test_default_factor_is_one(self, plan):
+        assert plan.shards_per_worker == 1
+
+    @pytest.mark.parametrize("factor", [0, -1, 2.5])
+    def test_invalid_factor_rejected(self, plan, factor):
+        with pytest.raises(ValueError, match="shards_per_worker"):
+            dataclasses.replace(plan, shards_per_worker=factor)
+
+
+class TestEngineSharding:
+    def test_engine_cuts_workers_times_factor_shards(self, plan):
+        oversharded = dataclasses.replace(plan, shards_per_worker=3)
+        backend = RecordingExecutor(workers=4)
+        run_plan(oversharded, executor=backend)
+        assert backend.shard_counts == [12]
+
+    def test_factor_caps_at_unit_count(self, plan):
+        oversharded = dataclasses.replace(plan, shards_per_worker=100)
+        backend = RecordingExecutor(workers=4)
+        run_plan(oversharded, executor=backend)
+        assert backend.shard_counts == [plan.num_units]
+
+    def test_explicit_num_shards_overrides_factor(self, plan):
+        oversharded = dataclasses.replace(plan, shards_per_worker=3)
+        backend = RecordingExecutor(workers=4)
+        run_plan(oversharded, executor=backend, num_shards=2)
+        assert backend.shard_counts == [2]
+
+
+class TestDeterminism:
+    def test_output_identical_for_any_factor_and_executor(self, plan):
+        reference = run_plan(plan, executor="serial")
+        for factor in (2, 4, 7):
+            oversharded = dataclasses.replace(plan, shards_per_worker=factor)
+            for executor, workers in (("serial", None), ("thread", 2),
+                                      ("process", 2)):
+                results = run_plan(oversharded, executor=executor,
+                                   workers=workers)
+                assert results == reference
+
+    def test_oversharded_sweep_matches_unsharded_reduction(self, plan):
+        from repro.exec.reducers import MeanReducer
+
+        reference = run_plan(plan, reducer=MeanReducer(), executor="serial")
+        oversharded = dataclasses.replace(plan, shards_per_worker=4)
+        value = run_plan(oversharded, reducer=MeanReducer(),
+                         executor="thread", workers=3)
+        assert value == reference

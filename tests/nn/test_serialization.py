@@ -1,0 +1,34 @@
+"""State-dict archives: dtype-exact round-trips and key-escape safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+class TestKeyRoundtrip:
+    def test_dotted_keys_round_trip(self, tmp_path):
+        state = {"generator.down.0.weight": np.arange(4, dtype=np.float32),
+                 "buffer:generator.bn.running_mean": np.ones(2),
+                 "plain": np.zeros(1)}
+        path = tmp_path / "state.npz"
+        save_state_dict(state, path)
+        restored = load_state_dict(path)
+        assert set(restored) == set(state)
+        for key, value in state.items():
+            assert restored[key].dtype == value.dtype
+            np.testing.assert_array_equal(restored[key], value)
+
+    def test_escape_collision_raises_on_save(self, tmp_path):
+        """Regression: a key containing the literal ``__dot__`` sentinel
+        used to round-trip to the wrong name (``a__dot__b`` -> ``a.b``)."""
+        state = {"a__dot__b": np.zeros(1)}
+        with pytest.raises(ValueError, match="__dot__"):
+            save_state_dict(state, tmp_path / "state.npz")
+
+    def test_escape_collision_in_dotted_key_raises(self, tmp_path):
+        state = {"layer.weird__dot__name.weight": np.zeros(1)}
+        with pytest.raises(ValueError, match="round-trip"):
+            save_state_dict(state, tmp_path / "state.npz")
