@@ -43,6 +43,7 @@ from repro.artifacts.checkpoint import (
 )
 from repro.artifacts.registry_io import (
     check_probe,
+    checkpoint_registry_name,
     compute_probe,
     load_channel,
     save_channel,
@@ -67,6 +68,7 @@ __all__ = [
     "load_baseline",
     "save_channel",
     "load_channel",
+    "checkpoint_registry_name",
     "compute_probe",
     "check_probe",
 ]

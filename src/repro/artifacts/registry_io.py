@@ -37,7 +37,18 @@ from repro.artifacts.errors import (
 from repro.artifacts.manifest import CheckpointManifest
 from repro.artifacts.store import read_manifest, verify_checkpoint, write_manifest
 
-__all__ = ["save_channel", "load_channel", "compute_probe", "check_probe"]
+__all__ = ["save_channel", "load_channel", "checkpoint_registry_name",
+           "compute_probe", "check_probe"]
+
+
+def checkpoint_registry_name(directory: str | os.PathLike) -> str:
+    """The registry name a checkpoint restores under (from its manifest).
+
+    Lets consumers reference a checkpoint by path alone —
+    :meth:`repro.exec.ChannelRef.from_checkpoint` uses it so plan contexts
+    can name a zoo directory without repeating the backend name.
+    """
+    return read_manifest(Path(directory)).registry_name
 
 #: Default probe geometry: a small stack sampled once at save and load.
 _PROBE_SHAPE = (2, 16, 16)

@@ -164,14 +164,27 @@ def save_channel(channel, directory, **kwargs):
 def resolve_channel(channel, **kwargs) -> ChannelModel:
     """Coerce any channel spelling into a protocol backend.
 
-    Accepts a registry name, an already-built :class:`ChannelModel`, or one
-    of the legacy concrete classes (which are wrapped in their adapter).
-    ``kwargs`` are only applied when a new backend is constructed.
+    Accepts a registry name, an already-built :class:`ChannelModel`, a
+    :class:`repro.exec.ChannelRef` (resolved from its on-disk checkpoint,
+    memoized per thread), or one of the legacy concrete classes (which are
+    wrapped in their adapter).  ``kwargs`` are only applied when a new
+    backend is constructed.
     """
     if isinstance(channel, ChannelModel):
         return channel
     if isinstance(channel, str):
         return build_channel(channel, **kwargs)
+    from repro.exec.plan import ChannelRef
+
+    if isinstance(channel, ChannelRef):
+        if kwargs:
+            # Resolution constructs a backend, so caller kwargs apply —
+            # derive a ref with them merged (caller's take precedence) so
+            # the memo keys the combination, honouring this function's
+            # contract instead of silently dropping the arguments.
+            channel = ChannelRef(channel.name, channel.checkpoint,
+                                 **{**channel.kwargs, **kwargs})
+        return channel.resolve()
     if isinstance(channel, FlashChannel):
         return SimulatorChannel(simulator=channel, **kwargs)
     if isinstance(channel, ConditionalGenerativeModel):

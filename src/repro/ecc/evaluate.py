@@ -200,13 +200,22 @@ def _run_campaign(task, code, channel, pe_cycles: float, num_codewords: int,
                   extra_context: dict) -> CodewordChannelResult:
     if num_codewords < 1:
         raise ValueError("num_codewords must be positive")
-    channel = resolve_channel(channel)
-    seed = _campaign_seed(channel, rng, seed)
+    # A ChannelRef stays a ref inside the plan context — shards pickled to
+    # process pools or remote fleets then carry a checkpoint path, and each
+    # worker cold-starts the backend from the on-disk zoo — while the
+    # parent-side bookkeeping (seed draw) uses the resolved live backend
+    # (memoized per thread, so this never double-builds).
+    from repro.exec import ChannelRef
+
+    live = resolve_channel(channel)
+    context_channel = channel if isinstance(channel, ChannelRef) else live
+    seed = _campaign_seed(live, rng, seed)
     plan = MonteCarloPlan(
         task=task,
         units=_codeword_groups(num_codewords, group_size),
         seed=stable_seed(seed, float(pe_cycles)),
-        context=dict(code=code, channel=channel, pe_cycles=float(pe_cycles),
+        context=dict(code=code, channel=context_channel,
+                     pe_cycles=float(pe_cycles),
                      params=params, **extra_context))
     records = run_plan(plan, reducer=RecordReducer(stack=True),
                        executor=executor, workers=workers)
@@ -231,7 +240,10 @@ def evaluate_bch_over_channel(code: BCHCode, channel, pe_cycles: float,
 
     ``channel`` is any registered backend name or channel model — the
     simulator, a trained generative network and the fitted baselines all
-    qualify (see :func:`repro.channel.resolve_channel`).  ``executor`` /
+    qualify (see :func:`repro.channel.resolve_channel`) — or a
+    :class:`repro.exec.ChannelRef`, in which case process/remote workers
+    cold-start the backend from its on-disk checkpoint instead of
+    unpickling a live model.  ``executor`` /
     ``workers`` select the execution backend
     (:func:`repro.exec.build_executor`); ``seed`` anchors the campaign
     randomness explicitly (when omitted it is drawn from ``rng`` or the
@@ -265,12 +277,20 @@ def evaluate_ldpc_over_channel(code: LDPCCode, channel, pe_cycles: float,
     ``executor`` / ``workers`` / ``seed`` behave as in
     :func:`evaluate_bch_over_channel`.
     """
-    channel = resolve_channel(channel)
-    seed = _campaign_seed(channel, rng, seed)
+    from repro.exec import ChannelRef
+
+    live = resolve_channel(channel)
+    seed = _campaign_seed(live, rng, seed)
     if density_table is None:
-        density_table = _seeded_density_table(channel, pe_cycles, seed,
+        density_table = _seeded_density_table(live, pe_cycles, seed,
                                               params)
-    return _run_campaign(_ldpc_group_task, code, channel, pe_cycles,
+    # Only a ChannelRef keeps its original spelling (so the plan context
+    # ships a checkpoint path and workers cold-start from the zoo); every
+    # other spelling passes the backend resolved above, so the seed draw,
+    # the density table, the task calls and the worker cache merges all hit
+    # one instance.
+    campaign_channel = channel if isinstance(channel, ChannelRef) else live
+    return _run_campaign(_ldpc_group_task, code, campaign_channel, pe_cycles,
                          num_codewords, rng, params, executor, workers,
                          group_size, seed,
                          extra_context=dict(density_table=density_table,

@@ -6,7 +6,7 @@ frame-error campaigns, the figure drivers — runs through this package:
 1. describe the sweep as a :class:`MonteCarloPlan` (a picklable task over
    independent units plus a seed and shared context);
 2. pick an execution backend by name via :func:`build_executor`
-   (``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``);
+   (``"serial"``, ``"thread"``, ``"process"``, ``"remote"``, or ``"auto"``);
 3. :func:`run_plan` shards the units, runs them, folds worker cache entries
    back into the parent, and reduces the per-unit results with a mergeable
    :class:`Reducer`.
@@ -18,6 +18,7 @@ diagram and a scaling how-to.
 """
 
 from repro.exec.plan import (
+    ChannelRef,
     MonteCarloPlan,
     ShardResult,
     ShardSpec,
@@ -39,12 +40,19 @@ from repro.exec.executors import (
     build_executor,
     register_executor,
 )
+from repro.exec.remote import RemoteExecutor, RemoteExecutorError
+from repro.exec.transport import (
+    TransportClosedError,
+    TransportConnectError,
+    TransportError,
+)
 from repro.exec.engine import run_plan
 
 __all__ = [
     "MonteCarloPlan",
     "ShardSpec",
     "ShardResult",
+    "ChannelRef",
     "stable_seed",
     "Reducer",
     "TallyReducer",
@@ -55,6 +63,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RemoteExecutor",
+    "RemoteExecutorError",
+    "TransportError",
+    "TransportConnectError",
+    "TransportClosedError",
     "EXECUTOR_REGISTRY",
     "register_executor",
     "build_executor",

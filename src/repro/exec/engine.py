@@ -40,7 +40,10 @@ def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
         when omitted the raw per-unit result list is returned.
     executor:
         An executor backend name (``"auto"``, ``"serial"``, ``"thread"``,
-        ``"process"``), a built :class:`Executor`, or None for ``"auto"``.
+        ``"process"``, ``"remote"``), a built :class:`Executor`, or None
+        for ``"auto"``.  A caller-provided instance keeps its worker pool
+        (or remote fleet) alive across calls; name-built backends are
+        closed when the call returns.
     workers:
         Worker count for pool executors (defaults to the CPU count).
     num_shards:

@@ -2,14 +2,18 @@
 
 ``build_executor(name, workers)`` mirrors :func:`repro.channel.build_channel`:
 consumers name an execution backend in configuration and never touch pool
-plumbing.  Three backends exist:
+plumbing.  Four backends exist:
 
 * ``"serial"`` — run every shard in-process (the reference path);
 * ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor` pool,
   useful when the task releases the GIL (BLAS-heavy workloads);
 * ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor` pool;
   shards are pickled to workers, and cache snapshots travel back for the
-  engine to merge.
+  engine to merge;
+* ``"remote"`` — a worker fleet over the socket transport
+  (:class:`repro.exec.RemoteExecutor`): spawned localhost subprocesses by
+  default, or pre-started ``python -m repro.exec.worker --serve`` hosts,
+  with per-shard acknowledgement, bounded retry and straggler re-dispatch.
 
 ``"auto"`` picks ``"serial"`` for one worker and ``"process"`` otherwise.
 Because plan randomness is anchored per unit, every backend produces
@@ -112,10 +116,22 @@ class ThreadExecutor(Executor):
 
 def _run_shard_isolated(shard: ShardSpec) -> ShardResult:
     """Thread-pool entry point: run on a private copy of the context."""
+    from repro.exec.plan import ChannelRef
+
     if len(shard.context) > 0:
         shard = dataclasses.replace(shard,
                                     context=copy.deepcopy(shard.context))
-    return shard.run(collect_caches=True)
+    result = shard.run(collect_caches=True)
+    if any(isinstance(value, ChannelRef)
+           for value in shard.context.values()):
+        # ChannelRef resolution is shared per pool *thread*, so a later
+        # shard on this thread would reset/mutate the very cache object
+        # this result references (process workers are insulated by
+        # pickling).  Snapshot copies keep every ShardResult
+        # self-consistent for the engine's merge.
+        result.caches = {key: copy.deepcopy(cache)
+                         for key, cache in result.caches.items()}
+    return result
 
 
 def _run_shard_collecting(shard: ShardSpec) -> ShardResult:
@@ -171,6 +187,9 @@ def register_executor(name: str):
 register_executor("serial")(SerialExecutor)
 register_executor("thread")(ThreadExecutor)
 register_executor("process")(ProcessExecutor)
+# "remote" registers itself at the bottom of repro.exec.remote (which
+# imports this module, so the registration cannot live here); the package
+# __init__ imports both, keeping the registry complete for any consumer.
 
 
 def build_executor(name: str = "auto",

@@ -16,7 +16,10 @@ changes the numbers — only the wall-clock time.
 
 from __future__ import annotations
 
+import os
+import threading
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -24,7 +27,8 @@ import numpy as np
 
 from repro.channel.cache import ConditionCache
 
-__all__ = ["MonteCarloPlan", "ShardSpec", "ShardResult", "stable_seed"]
+__all__ = ["MonteCarloPlan", "ShardSpec", "ShardResult", "ChannelRef",
+           "stable_seed"]
 
 
 def stable_seed(*components: Any) -> tuple[int, ...]:
@@ -44,14 +48,136 @@ def stable_seed(*components: Any) -> tuple[int, ...]:
     return tuple(entropy)
 
 
+#: Channels cold-started from :class:`ChannelRef`\ s, keyed by
+#: ``(ref key, thread id)``.  The thread key gives each worker process (and
+#: each thread-pool thread) a private backend — checkpoints load once per
+#: worker instead of once per shard, without ever sharing one stateful
+#: channel across concurrent shards.  A capped LRU: when a long-lived
+#: parent cycles many thread pools or checkpoints, the least recently used
+#: resolutions are dropped (the next use simply reloads) instead of pinning
+#: every model ever resolved for the life of the process.  Accesses refresh
+#: recency, so an entry in active use — notably the parent thread's, which
+#: the engine's cache merge peeks at after every pool thread has resolved —
+#: is not evicted by a burst of per-thread resolutions.
+_RESOLVED_CHANNELS: "OrderedDict[tuple, Any]" = OrderedDict()
+_RESOLVE_LOCK = threading.Lock()
+_RESOLVE_CACHE_MAX = 64
+
+
+def _freeze_option(value: Any) -> str:
+    """A stable identity string for one :class:`ChannelRef` kwarg.
+
+    ``repr`` alone would truncate large arrays (two refs differing only in
+    the summarized middle would collide and serve the wrong memoized
+    channel), so arrays are identified by shape/dtype plus a content
+    checksum.
+    """
+    if isinstance(value, np.ndarray):
+        return (f"ndarray(shape={value.shape}, dtype={value.dtype}, "
+                f"crc32={zlib.crc32(np.ascontiguousarray(value).tobytes())})")
+    return repr(value)
+
+
+class ChannelRef:
+    """A cheaply-picklable checkpoint reference standing in for a channel.
+
+    Put one in a plan's ``context`` instead of a live backend and every
+    shard — serial, thread, process pool or remote fleet — resolves it to a
+    channel via ``build_channel(name, checkpoint=path)`` at run time
+    (:mod:`repro.artifacts`).  The wire then carries a registry name and a
+    path instead of megabytes of pickled model state, and workers cold-start
+    from the on-disk zoo, raising the zoo's typed errors
+    (:class:`repro.artifacts.CheckpointError` family) when the checkpoint is
+    corrupt rather than computing garbage tallies.
+
+    Resolution is memoized per ``(reference, thread)``: a pool worker
+    running many shards loads the checkpoint once, while concurrent
+    thread-pool shards never share one stateful backend.  The memo is a
+    small bounded cache — and it means a checkpoint rewritten *at the same
+    path mid-process* may be served stale; write new checkpoints to new
+    directories (the zoo convention) to re-resolve.
+    """
+
+    def __init__(self, name: str, checkpoint: str | os.PathLike, **kwargs):
+        self.name = str(name)
+        self.checkpoint = os.fspath(checkpoint)
+        self.kwargs = kwargs
+        self._key: tuple | None = None
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: str | os.PathLike,
+                        **kwargs) -> "ChannelRef":
+        """Reference a checkpoint by path alone (registry name from its
+        manifest)."""
+        from repro.artifacts.registry_io import checkpoint_registry_name
+
+        return cls(checkpoint_registry_name(checkpoint), checkpoint, **kwargs)
+
+    def key(self) -> tuple:
+        """Identity of the referenced build (name, path, frozen kwargs).
+
+        Computed once — freezing checksums array-valued kwargs, and the key
+        is consulted on every resolve/peek.
+        """
+        if self._key is None:
+            options = tuple(sorted((name, _freeze_option(value))
+                                   for name, value in self.kwargs.items()))
+            self._key = (self.name, self.checkpoint, options)
+        return self._key
+
+    def resolve(self):
+        """The live backend, built from the checkpoint on this thread's
+        first use."""
+        channel = self.peek()
+        if channel is None:
+            from repro.channel.registry import build_channel
+
+            key = (self.key(), threading.get_ident())
+            channel = build_channel(self.name, checkpoint=self.checkpoint,
+                                    **self.kwargs)
+            with _RESOLVE_LOCK:
+                channel = _RESOLVED_CHANNELS.setdefault(key, channel)
+                _RESOLVED_CHANNELS.move_to_end(key)
+                while len(_RESOLVED_CHANNELS) > _RESOLVE_CACHE_MAX:
+                    _RESOLVED_CHANNELS.popitem(last=False)
+        return channel
+
+    def peek(self):
+        """The backend this thread already resolved, or None (no load)."""
+        key = (self.key(), threading.get_ident())
+        with _RESOLVE_LOCK:
+            channel = _RESOLVED_CHANNELS.get(key)
+            if channel is not None:
+                _RESOLVED_CHANNELS.move_to_end(key)
+            return channel
+
+    @property
+    def cache(self):
+        """The resolved backend's condition cache (None until resolved).
+
+        Exposing the cache of an *already-resolved* reference lets
+        :func:`collect_cache_bearers` fold worker snapshots into the parent
+        whenever the parent itself has used the channel, without forcing a
+        checkpoint load purely for bookkeeping.
+        """
+        return getattr(self.peek(), "cache", None)
+
+    def __repr__(self) -> str:
+        options = "".join(f", {name}={value!r}"
+                          for name, value in self.kwargs.items())
+        return (f"ChannelRef({self.name!r}, "
+                f"checkpoint={self.checkpoint!r}{options})")
+
+
 def collect_cache_bearers(context: Mapping[str, Any]
                           ) -> dict[str, ConditionCache]:
     """Condition caches reachable from a plan context, keyed by context key.
 
     A context value participates if it *is* a :class:`ConditionCache` or
     carries one as its ``cache`` attribute (every
-    :class:`repro.channel.ChannelModel` does).  The engine uses this map to
-    fold per-worker cache entries back into the parent objects.
+    :class:`repro.channel.ChannelModel` does; a :class:`ChannelRef` does
+    once this thread has resolved it).  The engine uses this map to fold
+    per-worker cache entries back into the parent objects.
     """
     bearers: dict[str, ConditionCache] = {}
     for key, value in context.items():
@@ -97,6 +223,16 @@ class ShardSpec:
             self.seed, spawn_key=(self.start + offset,))
         return np.random.default_rng(sequence)
 
+    def resolved_context(self) -> Mapping[str, Any]:
+        """The context with every :class:`ChannelRef` replaced by its live
+        backend (cold-started from the on-disk zoo on first use)."""
+        if not any(isinstance(value, ChannelRef)
+                   for value in self.context.values()):
+            return self.context
+        return {key: value.resolve() if isinstance(value, ChannelRef)
+                else value
+                for key, value in self.context.items()}
+
     def run(self, collect_caches: bool = False) -> ShardResult:
         """Execute every unit of this shard in order.
 
@@ -105,10 +241,11 @@ class ShardSpec:
         the returned snapshots report this shard's activity only, then
         attaches the caches for the engine to merge back into the parent.
         """
-        caches = collect_cache_bearers(self.context) if collect_caches else {}
+        context = self.resolved_context()
+        caches = collect_cache_bearers(context) if collect_caches else {}
         for cache in caches.values():
             cache.reset_stats()
-        results = [self.task(unit, self.unit_rng(offset), **self.context)
+        results = [self.task(unit, self.unit_rng(offset), **context)
                    for offset, unit in enumerate(self.units)]
         return ShardResult(index=self.index, start=self.start,
                            results=results, caches=caches)
@@ -133,6 +270,9 @@ class MonteCarloPlan:
     context:
         Keyword arguments shared by every task call (channel backends, code
         objects, parameters).  Pickled once per shard, not once per unit.
+        A :class:`ChannelRef` value ships as a checkpoint path and is
+        cold-started from the on-disk model zoo on the executing worker —
+        the cheap way to move channels to process pools and remote fleets.
     shards_per_worker:
         Oversharding factor: the engine's default shard count becomes
         ``workers * shards_per_worker`` instead of one shard per worker.

@@ -1,0 +1,557 @@
+"""Distributed shard execution over a worker fleet (``"remote"`` backend).
+
+:class:`RemoteExecutor` fans a plan's :class:`~repro.exec.ShardSpec`\\ s out
+to a fleet of ``python -m repro.exec.worker`` processes over the
+length-prefixed transport of :mod:`repro.exec.transport`.  Two topologies:
+
+* **Spawned localhost fleet** (default): the executor listens on an
+  ephemeral port and launches ``workers`` subprocesses that dial back in —
+  zero configuration, and the shape the CI smoke job runs.
+* **Pre-started hosts**: pass ``hosts=["hostA:7070", "hostB:7070"]`` to
+  connect to serving workers (``python -m repro.exec.worker --serve``),
+  the multi-host deployment shape.
+
+Scheduling is a shared work queue with three robustness mechanisms:
+
+* **Acknowledgement** — a worker acks every shard on receipt, so the parent
+  can tell a dispatch that never arrived from a death mid-execution: an
+  un-acked dispatch is re-queued without consuming the shard's retry budget.
+* **Bounded retry** — a shard whose worker raised or died is re-queued up to
+  ``max_retries`` times; exhaustion re-raises the original worker exception
+  with the worker traceback attached as a note.
+* **Straggler re-dispatch** — near the tail (no pending shards left), idle
+  workers speculatively re-run the slowest in-flight shards; the first
+  result per shard wins and duplicates are dropped, so a slow or wedged
+  worker cannot hold the sweep hostage.
+
+None of this can change the numbers: shard results are deterministic
+functions of the plan (randomness is anchored per unit), so retries,
+duplicates and fleet size leave the output bit-identical to
+:class:`~repro.exec.SerialExecutor` — the same contract every other backend
+honours, enforced by ``tests/exec/test_executor_conformance.py``.
+
+Worker condition-cache snapshots travel back inside each
+:class:`~repro.exec.ShardResult` and are merged into the parent by the
+engine, exactly as for the process pool.  Contexts holding a
+:class:`~repro.exec.ChannelRef` ship a checkpoint path instead of a live
+model; each worker cold-starts the channel from the on-disk zoo
+(:mod:`repro.artifacts`) once and reuses it across its shards.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.exec.executors import Executor, register_executor
+from repro.exec.plan import ShardResult, ShardSpec
+from repro.exec.transport import (
+    PROTOCOL_VERSION,
+    Connection,
+    TransportClosedError,
+    TransportConnectError,
+    TransportError,
+    connect,
+    listen,
+)
+
+__all__ = ["RemoteExecutor", "RemoteExecutorError"]
+
+
+class RemoteExecutorError(RuntimeError):
+    """Fleet-level failure: every worker lost with shards still incomplete."""
+
+
+class _Worker:
+    """One fleet member: its connection plus, when spawned, its process."""
+
+    def __init__(self, conn: Connection,
+                 process: subprocess.Popen | None = None,
+                 address: str | None = None):
+        self.conn = conn
+        self.process = process
+        self.address = address
+        self.alive = True
+
+    def dead(self) -> bool:
+        return (not self.alive or self.conn.closed
+                or (self.process is not None
+                    and self.process.poll() is not None))
+
+    def close(self, shutdown: bool = True) -> None:
+        self.alive = False
+        if shutdown and not self.conn.closed:
+            try:
+                self.conn.send(("shutdown",))
+            except TransportError:
+                pass
+        self.conn.close()
+        if self.process is not None:
+            try:
+                self.process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                self.process.kill()
+                self.process.wait()
+
+
+class _ShardScheduler:
+    """Thread-safe shard queue with retry, speculation and deduplication.
+
+    One instance serves one ``map_shards`` call; each worker's drive thread
+    pulls work via :meth:`next_shard` and reports through
+    :meth:`completed` / :meth:`errored` / :meth:`worker_lost`.
+    """
+
+    def __init__(self, shards: list[ShardSpec], *, max_retries: int,
+                 speculate: bool, straggler_wait: float, max_copies: int):
+        self.max_retries = max_retries
+        self.speculate = speculate
+        self.straggler_wait = straggler_wait
+        self.max_copies = max_copies
+        self._cond = threading.Condition()
+        self._pending = deque(shards)
+        self._total = len(shards)
+        #: shard index -> {"spec", "workers": set, "since": float}
+        self._running: dict[int, dict] = {}
+        self._results: dict[int, ShardResult] = {}
+        self._failures: dict[int, list[tuple[BaseException, str]]] = {}
+        self._registered = 0
+        self.fatal_error: BaseException | None = None
+        self.fatal_note: str | None = None
+        self.stats = {"dispatches": 0, "acks": 0, "retries": 0,
+                      "unacked_redispatches": 0, "duplicates": 0,
+                      "deduplicated": 0, "worker_deaths": 0}
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def register_worker(self) -> None:
+        with self._cond:
+            self._registered += 1
+
+    def deregister_worker(self) -> None:
+        with self._cond:
+            self._registered -= 1
+            if self._registered == 0 and not self._finished():
+                incomplete = self._total - len(self._results)
+                self.fatal_error = RemoteExecutorError(
+                    f"every remote worker was lost with {incomplete} "
+                    f"shard(s) incomplete")
+                if self._failures:
+                    last = list(self._failures.values())[-1][-1]
+                    self.fatal_note = ("last worker failure:\n" + last[1])
+            self._cond.notify_all()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _finished(self) -> bool:
+        return len(self._results) == self._total or self.fatal_error is not None
+
+    def next_shard(self, worker: _Worker) -> ShardSpec | None:
+        """Block until there is work for ``worker`` (None: run is over)."""
+        with self._cond:
+            while True:
+                if self._finished():
+                    self._cond.notify_all()
+                    return None
+                if self._pending:
+                    spec = self._pending.popleft()
+                    self._mark_dispatch(spec, worker)
+                    return spec
+                if self.speculate:
+                    spec = self._straggler_for(worker)
+                    if spec is not None:
+                        self.stats["duplicates"] += 1
+                        self.stats["dispatches"] += 1
+                        return spec
+                self._cond.wait(timeout=max(self.straggler_wait, 0.05))
+
+    def _mark_dispatch(self, spec: ShardSpec, worker: _Worker) -> None:
+        entry = self._running.get(spec.index)
+        if entry is None:
+            entry = self._running[spec.index] = {
+                "spec": spec, "workers": set(), "since": time.monotonic()}
+        entry["workers"].add(worker)
+        self.stats["dispatches"] += 1
+
+    def _straggler_for(self, worker: _Worker) -> ShardSpec | None:
+        """The slowest in-flight shard worth duplicating onto ``worker``."""
+        now = time.monotonic()
+        candidates = [
+            entry for entry in self._running.values()
+            if worker not in entry["workers"]
+            and entry["workers"]  # someone is actually running it
+            and len(entry["workers"]) < self.max_copies
+            and now - entry["since"] >= self.straggler_wait]
+        if not candidates:
+            return None
+        entry = min(candidates, key=lambda item: item["since"])
+        entry["workers"].add(worker)
+        return entry["spec"]
+
+    # -- outcomes ----------------------------------------------------------
+
+    def acked(self, index: int) -> None:
+        with self._cond:
+            self.stats["acks"] += 1
+
+    def completed(self, worker: _Worker, result: ShardResult) -> None:
+        with self._cond:
+            if result.index in self._results:
+                # A speculative duplicate finished after the winner: results
+                # are deterministic, so dropping it loses nothing — each
+                # shard is counted exactly once.
+                self.stats["deduplicated"] += 1
+            else:
+                self._results[result.index] = result
+            self._running.pop(result.index, None)
+            self._cond.notify_all()
+
+    def errored(self, worker: _Worker, spec: ShardSpec,
+                error: BaseException, worker_traceback: str) -> None:
+        with self._cond:
+            self._record_failure(worker, spec, error, worker_traceback)
+            self._cond.notify_all()
+
+    def worker_lost(self, worker: _Worker, spec: ShardSpec | None,
+                    error: TransportError, acked: bool = True) -> None:
+        """The transport to ``worker`` died, possibly mid-shard.
+
+        This is where the per-shard acknowledgement pays off: a dispatch
+        the worker never acked provably never started, so it is re-queued
+        without consuming the shard's retry budget — only deaths *after*
+        the ack (the shard may have side effects or be poison) count as
+        failures.
+        """
+        with self._cond:
+            self.stats["worker_deaths"] += 1
+            if spec is not None and not acked:
+                self._requeue_unacked(worker, spec)
+            elif spec is not None:
+                self._record_failure(
+                    worker, spec, error,
+                    f"worker connection lost mid-shard: {error}")
+            self._cond.notify_all()
+
+    def _requeue_unacked(self, worker: _Worker, spec: ShardSpec) -> None:
+        if spec.index in self._results:
+            return
+        entry = self._running.get(spec.index)
+        if entry is not None:
+            entry["workers"].discard(worker)
+            if entry["workers"]:
+                return  # another copy is still running; let it race
+        self._running.pop(spec.index, None)
+        self._pending.appendleft(spec)
+        self.stats["unacked_redispatches"] += 1
+
+    def _record_failure(self, worker: _Worker, spec: ShardSpec,
+                        error: BaseException, worker_traceback: str) -> None:
+        if spec.index in self._results:
+            return  # another copy already delivered this shard
+        entry = self._running.get(spec.index)
+        if entry is not None:
+            entry["workers"].discard(worker)
+        failures = self._failures.setdefault(spec.index, [])
+        failures.append((error, worker_traceback))
+        if entry is not None and entry["workers"]:
+            # A duplicate copy is still running; let it race — even past the
+            # retry budget, since a live copy delivering makes the failures
+            # moot (speculation must never turn a survivable run fatal).
+            return
+        if len(failures) > self.max_retries:
+            if self.fatal_error is None:
+                self.fatal_error = error
+                self.fatal_note = (
+                    f"shard {spec.index} failed on {len(failures)} worker "
+                    f"attempt(s) (retry budget {self.max_retries}); last "
+                    f"worker traceback:\n{worker_traceback}")
+            self._running.pop(spec.index, None)
+        else:
+            self._running.pop(spec.index, None)
+            self._pending.appendleft(spec)
+            self.stats["retries"] += 1
+
+    # -- completion --------------------------------------------------------
+
+    def wait(self) -> None:
+        with self._cond:
+            while not self._finished() and self._registered > 0:
+                self._cond.wait(timeout=0.25)
+
+    def ordered_results(self) -> list[ShardResult]:
+        with self._cond:
+            return [self._results[index] for index in sorted(self._results)]
+
+
+class RemoteExecutor(Executor):
+    """Execute shards on a worker fleet over the socket transport.
+
+    Parameters
+    ----------
+    workers:
+        Size of the spawned localhost fleet (ignored when ``hosts`` names
+        the fleet explicitly).
+    hosts:
+        Addresses of pre-started serving workers
+        (``python -m repro.exec.worker --serve host:port``); when given the
+        executor connects instead of spawning.
+    max_retries:
+        How many times a failed shard (worker exception or death) is
+        re-dispatched before the original error is re-raised.
+    speculate:
+        Enable straggler re-dispatch: once no pending shards remain, idle
+        workers re-run in-flight shards older than ``straggler_wait``
+        seconds (at most ``max_copies`` concurrent copies per shard); the
+        first result wins.
+    connect_timeout:
+        Seconds to wait for a worker to come up / accept before raising
+        :class:`~repro.exec.transport.TransportConnectError`.
+    drain_timeout:
+        Seconds to wait, after the run is decided, for threads still
+        receiving late duplicate results before their connections are cut.
+
+    The fleet persists across :func:`~repro.exec.run_plan` calls (dead
+    members are replaced on the next call) and is torn down by
+    :meth:`close`.  ``last_run_stats`` exposes the previous run's dispatch /
+    ack / retry / duplicate / dedup / death counters.
+    """
+
+    name = "remote"
+    shares_memory = False
+
+    def __init__(self, workers: int | None = None,
+                 hosts: list[str] | None = None, max_retries: int = 2,
+                 speculate: bool = True, straggler_wait: float = 1.0,
+                 max_copies: int = 2, connect_timeout: float = 10.0,
+                 drain_timeout: float = 10.0):
+        self.hosts = list(hosts) if hosts is not None else None
+        if self.hosts is not None:
+            if not self.hosts:
+                raise ValueError("hosts must name at least one worker")
+            workers = len(self.hosts)
+        super().__init__(workers)
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if max_copies < 2:
+            raise ValueError("max_copies must be at least 2 (the original "
+                             "plus one speculative copy)")
+        self.max_retries = max_retries
+        self.speculate = speculate
+        self.straggler_wait = straggler_wait
+        self.max_copies = max_copies
+        self.connect_timeout = connect_timeout
+        self.drain_timeout = drain_timeout
+        self.last_run_stats: dict[str, int] = {}
+        self._workers: list[_Worker] = []
+        self._listener: socket.socket | None = None
+
+    # -- fleet management --------------------------------------------------
+
+    def _ensure_fleet(self) -> None:
+        """Replace dead members so the fleet is at full strength.
+
+        Reused connections are ping-probed: a worker that exited since the
+        last run (a ``--once`` server, a crashed host) leaves the local
+        socket looking open, and only a round-trip proves it still serves.
+        """
+        for worker in self._workers:
+            if worker.dead() or not self._responds(worker):
+                worker.close(shutdown=False)
+        self._workers = [w for w in self._workers if not w.dead()]
+        if self.hosts is not None:
+            connected = {w.address for w in self._workers}
+            last_error: Exception | None = None
+            for address in self.hosts:
+                if address in connected:
+                    continue
+                try:
+                    self._workers.append(self._connect_host(address))
+                except TransportError as error:
+                    last_error = error
+            if not self._workers:
+                raise TransportConnectError(
+                    f"no remote worker reachable among {self.hosts}: "
+                    f"{last_error}") from last_error
+        else:
+            while len(self._workers) < self.workers:
+                self._workers.append(self._spawn_worker())
+
+    def _responds(self, worker: _Worker) -> bool:
+        """Round-trip a ping over a reused connection (bounded wait)."""
+        if worker.dead():
+            return False
+        try:
+            worker.conn.settimeout(self.connect_timeout)
+            worker.conn.send(("ping",))
+            reply = worker.conn.recv()
+            worker.conn.settimeout(None)
+            return reply[0] == "pong"
+        except TransportError:
+            return False
+
+    def _connect_host(self, address: str) -> _Worker:
+        conn = connect(address, timeout=self.connect_timeout)
+        self._handshake(conn)
+        return _Worker(conn, address=address)
+
+    def _spawn_worker(self) -> _Worker:
+        if self._listener is None:
+            self._listener = listen()
+        port = self._listener.getsockname()[1]
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--connect", f"127.0.0.1:{port}",
+             "--timeout", str(self.connect_timeout)],
+            env=self._worker_env())
+        self._listener.settimeout(self.connect_timeout)
+        try:
+            client, _ = self._listener.accept()
+        except socket.timeout:
+            process.kill()
+            raise TransportConnectError(
+                f"spawned worker (pid {process.pid}) did not connect within "
+                f"{self.connect_timeout:.1f}s") from None
+        conn = Connection.from_socket(client, peer=f"worker pid "
+                                                   f"{process.pid}")
+        self._handshake(conn)
+        return _Worker(conn, process=process)
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        """The child environment, with this package importable via ``-m``."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = package_root + (
+                os.pathsep + existing if existing else "")
+        return env
+
+    def _handshake(self, conn: Connection) -> None:
+        conn.settimeout(self.connect_timeout)
+        try:
+            hello = conn.recv()
+        except TransportError as error:
+            conn.close()
+            raise TransportConnectError(
+                f"worker at {conn.peer} never completed the handshake: "
+                f"{error}") from error
+        if hello[0] != "hello" or hello[1].get("protocol") != PROTOCOL_VERSION:
+            conn.close()
+            raise TransportError(
+                f"worker at {conn.peer} speaks protocol "
+                f"{hello[1].get('protocol') if hello[0] == 'hello' else '?'} "
+                f"but this executor needs {PROTOCOL_VERSION}")
+        # '' on sys.path means the current directory at interpreter start;
+        # resolve it so the worker (whose cwd may drift) sees the same path.
+        sys_path = [entry if entry else os.getcwd() for entry in sys.path]
+        main_path = getattr(sys.modules.get("__main__"), "__file__", None)
+        conn.send(("init", {"sys_path": sys_path, "cwd": os.getcwd(),
+                            "main_path": main_path}))
+        conn.settimeout(None)
+
+    # -- execution ---------------------------------------------------------
+
+    def map_shards(self, shards: list[ShardSpec]) -> list[ShardResult]:
+        self._ensure_fleet()
+        scheduler = _ShardScheduler(
+            shards, max_retries=self.max_retries, speculate=self.speculate,
+            straggler_wait=self.straggler_wait, max_copies=self.max_copies)
+        threads: list[tuple[threading.Thread, _Worker]] = []
+        for worker in list(self._workers):
+            scheduler.register_worker()
+            thread = threading.Thread(target=self._drive_worker,
+                                      args=(worker, scheduler), daemon=True)
+            threads.append((thread, worker))
+            thread.start()
+        scheduler.wait()
+        self._drain(threads)
+        self.last_run_stats = dict(scheduler.stats)
+        if scheduler.fatal_error is not None:
+            error = scheduler.fatal_error
+            if scheduler.fatal_note and hasattr(error, "add_note"):
+                error.add_note(scheduler.fatal_note)
+            raise error
+        return scheduler.ordered_results()
+
+    def _drain(self, threads: list[tuple[threading.Thread, _Worker]]) -> None:
+        """Collect late duplicate results, then cut whatever still blocks."""
+        deadline = time.monotonic() + self.drain_timeout
+        for thread, _ in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.05))
+        for thread, worker in threads:
+            if thread.is_alive():
+                # The worker is wedged mid-shard; shut the socket down so
+                # the blocked recv in its drive thread returns (the run is
+                # already decided).  close() would deadlock here — it
+                # contends on the buffered reader's lock.
+                worker.alive = False
+                worker.conn.shutdown()
+        for thread, _ in threads:
+            thread.join()
+
+    def _drive_worker(self, worker: _Worker,
+                      scheduler: _ShardScheduler) -> None:
+        try:
+            while True:
+                spec = scheduler.next_shard(worker)
+                if spec is None:
+                    return
+                acked = False
+                try:
+                    worker.conn.send(("shard", spec))
+                    message = worker.conn.recv()
+                    if message[0] == "ack":
+                        scheduler.acked(spec.index)
+                        acked = True
+                        message = worker.conn.recv()
+                    if message[0] == "result":
+                        scheduler.completed(worker, message[1])
+                    elif message[0] == "error":
+                        scheduler.errored(worker, spec,
+                                          self._unpickle(message[2]),
+                                          message[3])
+                    else:
+                        raise TransportError(
+                            f"unexpected {message[0]!r} message from "
+                            f"{worker.conn.peer}")
+                except TransportError as error:
+                    worker.alive = False
+                    scheduler.worker_lost(worker, spec, error, acked=acked)
+                    return
+        finally:
+            scheduler.deregister_worker()
+
+    @staticmethod
+    def _unpickle(payload: bytes) -> BaseException:
+        import pickle
+
+        try:
+            error = pickle.loads(payload)
+        except Exception as unpickle_error:
+            return RuntimeError(f"worker exception did not unpickle: "
+                                f"{unpickle_error}")
+        if isinstance(error, BaseException):
+            return error
+        return RuntimeError(f"worker sent a non-exception failure payload: "
+                            f"{error!r}")
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+register_executor("remote")(RemoteExecutor)

@@ -1,0 +1,233 @@
+"""Length-prefixed message transport for distributed shard execution.
+
+The remote executor (:mod:`repro.exec.remote`) and its worker processes
+(:mod:`repro.exec.worker`) exchange pickled messages over a byte stream —
+a TCP socket for the localhost/multi-host fleet, or any pair of binary
+file objects.  Every message is framed as::
+
+    4-byte magic | 8-byte big-endian payload length | pickle payload
+
+The magic guards against a desynchronized or foreign stream (a corrupted
+length prefix would otherwise make the receiver wait on gigabytes), and the
+length prefix makes message boundaries explicit so a reader never has to
+guess where a pickle ends.
+
+Failure surface is typed: :class:`TransportConnectError` when a peer cannot
+be reached at all (raised within the connect timeout — never a hang) and
+:class:`TransportClosedError` when an established stream dies mid-message
+(the remote executor treats that as a worker death and re-dispatches the
+shard).  Messages are trusted — the fleet protocol is for workers the
+operator started, not for untrusted peers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TransportError",
+    "TransportConnectError",
+    "TransportClosedError",
+    "Connection",
+    "connect",
+    "listen",
+    "parse_address",
+]
+
+#: Bumped whenever the message framing or the handshake changes shape;
+#: parent and worker refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RXC1"
+_HEADER = struct.Struct(">4sQ")
+#: Upper bound on a single frame; a length beyond this means the stream is
+#: desynchronized, not that someone legitimately sent a 2 GiB shard.
+_MAX_FRAME_BYTES = 1 << 31
+
+
+class TransportError(RuntimeError):
+    """Base class of every transport-layer failure."""
+
+
+class TransportConnectError(TransportError):
+    """A peer could not be reached within the connect timeout."""
+
+
+class TransportClosedError(TransportError):
+    """The stream died (EOF or I/O error) before a full message arrived."""
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``"host:port"`` into its parts (``"port"`` alone is localhost)."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", address
+    if not host:
+        raise ValueError(f"invalid worker address {address!r}; "
+                         "expected 'host:port'")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid worker address {address!r}; "
+                         "expected 'host:port'") from None
+
+
+class Connection:
+    """A framed message channel over a pair of binary streams.
+
+    Built from a socket via :meth:`from_socket` (the fleet path) or directly
+    from any ``(reader, writer)`` file pair, e.g. a subprocess's stdio.
+    :meth:`send`/:meth:`recv` move whole picklable messages; every I/O
+    failure surfaces as a :class:`TransportClosedError` so callers handle one
+    exception family.
+    """
+
+    def __init__(self, reader, writer, *, sock: socket.socket | None = None,
+                 peer: str = "?"):
+        self._reader = reader
+        self._writer = writer
+        self._sock = sock
+        self.peer = peer
+        self.closed = False
+
+    @classmethod
+    def from_socket(cls, sock: socket.socket, peer: str | None = None
+                    ) -> "Connection":
+        if peer is None:
+            try:
+                host, port = sock.getpeername()[:2]
+                peer = f"{host}:{port}"
+            except OSError:
+                peer = "?"
+        return cls(sock.makefile("rb"), sock.makefile("wb"), sock=sock,
+                   peer=peer)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound blocking reads/writes (socket connections only).
+
+        Used around the handshake so a peer that connects but never speaks
+        cannot hang the fleet; cleared (``None``) for shard execution, whose
+        duration is unbounded by design.
+        """
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
+
+    def send(self, message: Any) -> None:
+        """Frame and write one message, flushing the stream."""
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._writer.write(_HEADER.pack(_MAGIC, len(payload)))
+            self._writer.write(payload)
+            self._writer.flush()
+        except (OSError, ValueError) as error:
+            # ValueError: write to a closed file object.
+            raise TransportClosedError(
+                f"connection to {self.peer} died while sending: {error}"
+            ) from error
+
+    def recv(self) -> Any:
+        """Read exactly one message (blocking until it fully arrives)."""
+        header = self._read_exact(_HEADER.size)
+        magic, length = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TransportError(
+                f"bad frame magic {magic!r} from {self.peer}; the stream is "
+                "desynchronized or the peer speaks another protocol")
+        if length > _MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {length} bytes from {self.peer} exceeds the "
+                f"{_MAX_FRAME_BYTES}-byte bound; refusing a likely "
+                "desynchronized stream")
+        return pickle.loads(self._read_exact(length))
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._reader.read(remaining)
+            except (OSError, ValueError) as error:
+                raise TransportClosedError(
+                    f"connection to {self.peer} died while receiving: "
+                    f"{error}") from error
+            if not chunk:
+                raise TransportClosedError(
+                    f"connection to {self.peer} closed mid-message "
+                    f"({count - remaining}/{count} bytes received)")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def shutdown(self) -> None:
+        """Abort in-flight blocking reads from *another* thread.
+
+        ``close()`` is not safe for that: closing a socket's buffered file
+        object contends on the lock the blocked ``read`` holds, and closing
+        the fd alone does not wake a blocked ``recv``.  A socket
+        ``shutdown(SHUT_RDWR)`` does — the blocked reader returns EOF and
+        surfaces a :class:`TransportClosedError`.
+        """
+        self.closed = True
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Tear the stream down; safe to call twice."""
+        self.closed = True
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Connection(peer={self.peer!r}, closed={self.closed})"
+
+
+def connect(address: str | tuple[str, int], timeout: float = 10.0,
+            retry_interval: float = 0.05) -> Connection:
+    """Dial a peer, retrying refused connections until ``timeout``.
+
+    The retry loop absorbs the startup race of a worker that is still
+    binding its listening socket; a peer that never comes up surfaces as a
+    :class:`TransportConnectError` when the deadline passes — a typed error,
+    never a hang.
+    """
+    host, port = parse_address(address) if isinstance(address, str) \
+        else address
+    deadline = time.monotonic() + timeout
+    while True:
+        budget = deadline - time.monotonic()
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=max(budget, 0.01))
+            sock.settimeout(None)
+            return Connection.from_socket(sock, peer=f"{host}:{port}")
+        except OSError as error:
+            if time.monotonic() + retry_interval >= deadline:
+                raise TransportConnectError(
+                    f"cannot reach worker at {host}:{port} within "
+                    f"{timeout:.1f}s: {error}") from error
+            time.sleep(retry_interval)
+
+
+def listen(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    """A listening socket for workers to dial into (port 0: OS-assigned)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen()
+    return sock

@@ -1,0 +1,214 @@
+"""Shard-execution worker process (``python -m repro.exec.worker``).
+
+A worker is one member of a :class:`repro.exec.RemoteExecutor` fleet.  It
+speaks the length-prefixed transport of :mod:`repro.exec.transport` in one
+of two topologies:
+
+``--connect HOST:PORT``
+    Dial back into a waiting parent (the executor spawns localhost workers
+    this way: it listens on an ephemeral port and each worker connects in).
+
+``--serve [HOST:]PORT``
+    Listen on an address and serve parents one connection at a time — the
+    multi-host shape: start serving workers on each machine, then point
+    ``RemoteExecutor(hosts=[...])`` at them.
+
+Session protocol (every frame a pickled message):
+
+1. worker → ``("hello", {"pid", "protocol"})`` — version handshake;
+2. parent → ``("init", {"sys_path", "cwd"})`` — the parent's import paths,
+   applied before any shard is unpickled so plan tasks defined outside the
+   installed package (test modules, scripts) resolve exactly as they would
+   in a :class:`concurrent.futures.ProcessPoolExecutor` worker;
+3. repeated: parent → ``("shard", ShardSpec)``; worker → ``("ack", index)``
+   the moment the shard is in hand (so the parent can tell a lost dispatch
+   from a death mid-execution), then runs it and sends
+   ``("result", ShardResult)`` or ``("error", index, exc_bytes, traceback)``;
+4. parent → ``("shutdown",)`` ends the session.
+
+Shards run with ``collect_caches=True``: condition-cache snapshots travel
+back for the parent engine to merge, exactly as process-pool shards do.  A
+context holding a :class:`repro.exec.ChannelRef` cold-starts its channel
+from the on-disk model zoo here, on the worker, so the wire carries a path
+instead of a pickled model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import traceback
+from typing import Any, Mapping
+
+from repro.exec import transport
+
+__all__ = ["serve_connection", "main"]
+
+
+def _apply_init(options: Mapping[str, Any]) -> None:
+    """Adopt the parent's import paths, working directory and main module."""
+    for entry in reversed(list(options.get("sys_path", ()))):
+        if entry and entry not in sys.path:
+            sys.path.insert(0, entry)
+    cwd = options.get("cwd")
+    if cwd and os.path.isdir(cwd):
+        os.chdir(cwd)
+    _fixup_main_module(options.get("main_path"))
+
+
+#: The parent script currently installed as ``__main__``/``__mp_main__``.
+#: A persistent ``--serve`` worker outlives its first parent; tracking the
+#: path (rather than just "a fixup happened") lets a later parent running a
+#: *different* script replace the binding instead of silently unpickling its
+#: ``__main__`` tasks against the previous parent's code.
+_main_fixup_path: str | None = None
+
+
+def _fixup_main_module(main_path: Any) -> None:
+    """Re-import the parent's ``__main__`` script, as spawned pools do.
+
+    A plan task defined in the parent's top-level script pickles as
+    ``__main__.<name>``; this loads that script under ``__mp_main__`` (so
+    its ``if __name__ == "__main__"`` guard stays false, exactly the
+    :mod:`multiprocessing` spawn convention) and aliases it as
+    ``__main__`` for unpickling.  Console entry points and interactive
+    parents (no real ``.py`` path) are skipped — their tasks must live in
+    importable modules, the same rule every spawn-based pool imposes.
+    """
+    global _main_fixup_path
+
+    if (not main_path or not str(main_path).endswith(".py")
+            or not os.path.exists(main_path)
+            or os.path.abspath(main_path) == _main_fixup_path):
+        return
+    import runpy
+    import types
+
+    try:
+        namespace = runpy.run_path(main_path, run_name="__mp_main__")
+    except BaseException as error:
+        print(f"repro-exec-worker: could not load parent main module "
+              f"{main_path}: {error}", file=sys.stderr, flush=True)
+        return
+    module = types.ModuleType("__mp_main__")
+    module.__dict__.update(namespace)
+    sys.modules["__mp_main__"] = sys.modules["__main__"] = module
+    _main_fixup_path = os.path.abspath(main_path)
+
+
+def _pickled_exception(error: BaseException) -> bytes:
+    """The exception as bytes, downgraded when it does not pickle."""
+    try:
+        return pickle.dumps(error)
+    except Exception:
+        return pickle.dumps(
+            RuntimeError(f"{type(error).__name__}: {error}"))
+
+
+def serve_connection(conn: transport.Connection) -> None:
+    """Run one parent session over an established connection."""
+    conn.send(("hello", {"pid": os.getpid(),
+                         "protocol": transport.PROTOCOL_VERSION}))
+    while True:
+        try:
+            message = conn.recv()
+        except transport.TransportClosedError:
+            return
+        except transport.TransportError as error:
+            # Bad magic / oversized frame: the stream is desynchronized and
+            # nothing further on it can be trusted — end the session (the
+            # parent sees the close as a worker loss and re-queues).
+            print(f"repro-exec-worker: desynchronized stream: {error}",
+                  file=sys.stderr, flush=True)
+            return
+        except Exception as error:
+            # The frame arrived but its payload would not unpickle (e.g. a
+            # task module this worker cannot import).  The framing is
+            # intact, so report and keep the session alive; the parent
+            # retries the shard elsewhere.
+            conn.send(("error", None, _pickled_exception(error),
+                       traceback.format_exc()))
+            continue
+        kind = message[0]
+        if kind == "init":
+            _apply_init(message[1])
+        elif kind == "ping":
+            conn.send(("pong",))
+        elif kind == "shutdown":
+            return
+        elif kind == "shard":
+            spec = message[1]
+            conn.send(("ack", spec.index))
+            try:
+                result = spec.run(collect_caches=True)
+            except BaseException as error:
+                conn.send(("error", spec.index, _pickled_exception(error),
+                           traceback.format_exc()))
+            else:
+                conn.send(("result", result))
+        else:
+            conn.send(("error", None,
+                       _pickled_exception(
+                           RuntimeError(f"unknown message kind {kind!r}")),
+                       ""))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description="Shard-execution worker for repro.exec.RemoteExecutor.")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--connect", metavar="HOST:PORT",
+                      help="dial back into a waiting RemoteExecutor")
+    mode.add_argument("--serve", metavar="[HOST:]PORT",
+                      help="listen and serve parents one at a time "
+                           "(port 0 picks a free port)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="connect timeout in seconds (--connect mode)")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after the first parent session "
+                             "(--serve mode)")
+    args = parser.parse_args(argv)
+
+    if args.connect:
+        conn = transport.connect(args.connect, timeout=args.timeout)
+        try:
+            serve_connection(conn)
+        except transport.TransportError:
+            pass  # the parent went away; a dial-back worker just exits
+        finally:
+            conn.close()
+        return
+
+    host, port = transport.parse_address(args.serve)
+    sock = transport.listen(host, port)
+    host, port = sock.getsockname()[:2]
+    # Machine-readable so launch scripts (and tests) can discover the port
+    # when --serve was given port 0.
+    print(f"repro-exec-worker listening on {host}:{port}", flush=True)
+    try:
+        while True:
+            client, _ = sock.accept()
+            conn = transport.Connection.from_socket(client)
+            try:
+                serve_connection(conn)
+            except transport.TransportError as error:
+                # The parent vanished mid-session (crash, severed straggler
+                # connection).  A persistent server outlives its parents:
+                # log and accept the next one.
+                print(f"repro-exec-worker: parent session died: {error}",
+                      file=sys.stderr, flush=True)
+            finally:
+                conn.close()
+            if args.once:
+                return
+    except KeyboardInterrupt:  # pragma: no cover - operator shutdown
+        pass
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,18 @@ def _cached_estimate(unit, rng, *, channel):
 
 class TestBuildExecutor:
     def test_registry_names(self):
-        assert set(EXECUTOR_REGISTRY) == {"serial", "thread", "process"}
+        assert set(EXECUTOR_REGISTRY) == {"serial", "thread", "process",
+                                          "remote"}
+
+    def test_remote_resolves_by_name(self):
+        from repro.exec import RemoteExecutor
+
+        backend = build_executor("remote", workers=2)
+        try:
+            assert isinstance(backend, RemoteExecutor)
+            assert backend.workers == 2
+        finally:
+            backend.close()
 
     def test_auto_resolution(self):
         assert isinstance(build_executor("auto"), SerialExecutor)

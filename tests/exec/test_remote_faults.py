@@ -1,0 +1,275 @@
+"""Fault injection for the remote executor.
+
+The distributed backend must stay on the determinism contract *under
+failure*: a worker killed mid-shard, a fleet that cannot be reached, a
+straggler racing its speculative duplicate, and a shard that fails past its
+retry budget all have pinned behaviours — bit-identical output where the
+run survives, a typed error carrying the original worker traceback where it
+cannot.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.exec import (
+    MonteCarloPlan,
+    RemoteExecutor,
+    TallyReducer,
+    TransportConnectError,
+    run_plan,
+)
+
+
+def _die_once(unit, rng, *, flag):
+    """Kill the hosting worker the first time unit 0 runs anywhere."""
+    value = float(unit) + float(rng.random())
+    if int(unit) == 0 and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(17)
+    return value
+
+
+def _slow_once(unit, rng, *, flag):
+    """Make unit 5's first execution a straggler (its re-run is fast)."""
+    value = float(unit) + float(rng.random())
+    if int(unit) == 5 and not os.path.exists(flag):
+        open(flag, "w").close()
+        time.sleep(1.5)
+    return value
+
+
+def _boom(unit, rng):
+    """Deterministic task failure on unit 2, every attempt."""
+    if int(unit) == 2:
+        raise ValueError("boom at unit 2")
+    return float(unit)
+
+
+def _plan(task, units=8, **context):
+    return MonteCarloPlan(task=task, units=tuple(range(units)), seed=11,
+                          context=context)
+
+
+class TestWorkerDeath:
+    def test_kill_mid_shard_retries_and_stays_bit_identical(self, tmp_path):
+        flag = tmp_path / "died"
+        plan = _plan(_die_once, flag=str(flag))
+        flag.touch()  # serial reference must not kill the test process
+        reference = run_plan(plan, executor="serial")
+        flag.unlink()
+
+        executor = RemoteExecutor(workers=2, max_retries=2,
+                                  straggler_wait=10.0)
+        try:
+            results = run_plan(plan, executor=executor)
+        finally:
+            executor.close()
+        assert results == reference
+        assert executor.last_run_stats["worker_deaths"] >= 1
+        assert executor.last_run_stats["retries"] >= 1
+
+    def test_fleet_replenished_after_death(self, tmp_path):
+        """A later run on the same executor gets a full-strength fleet."""
+        flag = tmp_path / "died"
+        plan = _plan(_die_once, flag=str(flag))
+        executor = RemoteExecutor(workers=2, max_retries=2,
+                                  straggler_wait=10.0)
+        try:
+            run_plan(plan, executor=executor)  # kills one worker
+            healthy = _plan(_die_once, flag=str(flag))  # flag now exists
+            results = run_plan(healthy, executor=executor)
+            assert len(results) == healthy.num_units
+            assert executor.last_run_stats["worker_deaths"] == 0
+        finally:
+            executor.close()
+
+
+class TestDeadTransport:
+    def test_unreachable_fleet_raises_typed_error_fast(self):
+        plan = _plan(_boom, units=2)
+        executor = RemoteExecutor(hosts=["127.0.0.1:1"], connect_timeout=0.5)
+        start = time.monotonic()
+        try:
+            with pytest.raises(TransportConnectError, match="127.0.0.1:1"):
+                run_plan(plan, executor=executor)
+        finally:
+            executor.close()
+        assert time.monotonic() - start < 10.0  # typed error, not a hang
+
+
+class TestStragglerRedispatch:
+    def test_duplicate_results_deduplicated_and_counted_once(self, tmp_path):
+        flag = tmp_path / "slowed"
+        plan = _plan(_slow_once, units=6, flag=str(flag))
+        flag.touch()
+        reference = run_plan(plan, executor="serial")
+        tally_reference = run_plan(plan, reducer=TallyReducer(),
+                                   executor="serial")
+        flag.unlink()
+
+        executor = RemoteExecutor(workers=2, straggler_wait=0.05,
+                                  max_retries=1)
+        try:
+            results = run_plan(plan, executor=executor)
+        finally:
+            executor.close()
+        # The idle worker speculatively re-ran the straggling shard; the
+        # duplicate result was dropped, so every unit is counted exactly
+        # once and the output is still bit-identical to serial.
+        assert results == reference
+        assert len(results) == plan.num_units
+        assert sum(results) == tally_reference
+        assert executor.last_run_stats["duplicates"] >= 1
+        assert executor.last_run_stats["deduplicated"] >= 1
+
+
+class TestSchedulerEdgeCases:
+    def test_exhaustion_deferred_while_duplicate_copy_runs(self):
+        """A duplicate copy's death must not fail a shard whose original is
+        still running — speculation can never turn a survivable run fatal."""
+        from repro.exec import ShardResult, TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=0, speculate=True,
+                                    straggler_wait=0.0, max_copies=2)
+        original_worker, duplicate_worker = object(), object()
+        assert scheduler.next_shard(original_worker) is shard
+        # Tail speculation: the only shard is immediately duplicated.
+        assert scheduler.next_shard(duplicate_worker) is shard
+
+        scheduler.worker_lost(duplicate_worker, shard,
+                              TransportClosedError("duplicate died"))
+        assert scheduler.fatal_error is None  # original still racing
+
+        result = ShardResult(index=shard.index, start=shard.start,
+                             results=[1.0] * len(shard.units))
+        scheduler.completed(original_worker, result)
+        assert scheduler.fatal_error is None
+        assert scheduler.ordered_results() == [result]
+
+    def test_unacked_dispatch_requeues_without_consuming_budget(self):
+        """A death before the ack means the shard never started: re-queue
+        freely, even with a zero retry budget."""
+        from repro.exec import ShardResult, TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=0, speculate=False,
+                                    straggler_wait=0.0, max_copies=2)
+        lost_worker, healthy_worker = object(), object()
+        assert scheduler.next_shard(lost_worker) is shard
+        scheduler.worker_lost(lost_worker, shard,
+                              TransportClosedError("died pre-ack"),
+                              acked=False)
+        assert scheduler.fatal_error is None
+        assert scheduler.stats["unacked_redispatches"] == 1
+        assert scheduler.next_shard(healthy_worker) is shard  # re-queued
+        result = ShardResult(index=shard.index, start=shard.start,
+                             results=[1.0] * len(shard.units))
+        scheduler.completed(healthy_worker, result)
+        assert scheduler.ordered_results() == [result]
+
+    def test_exhaustion_fires_once_no_copy_is_left(self):
+        from repro.exec import TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=0, speculate=True,
+                                    straggler_wait=0.0, max_copies=2)
+        workers = object(), object()
+        for worker in workers:
+            assert scheduler.next_shard(worker) is shard
+        scheduler.worker_lost(workers[0], shard,
+                              TransportClosedError("first died"))
+        assert scheduler.fatal_error is None
+        scheduler.worker_lost(workers[1], shard,
+                              TransportClosedError("second died"))
+        assert scheduler.fatal_error is not None
+
+
+class TestWorkerMainFixup:
+    def test_new_parent_script_replaces_previous_main(self, tmp_path):
+        """A persistent ``--serve`` worker must rebind ``__main__`` when a
+        parent running a *different* script connects, instead of resolving
+        its tasks against the first parent's code."""
+        import sys
+
+        from repro.exec import worker
+
+        script_a = tmp_path / "parent_a.py"
+        script_a.write_text("MARKER = 'a'\n")
+        script_b = tmp_path / "parent_b.py"
+        script_b.write_text("MARKER = 'b'\n")
+        saved_main = sys.modules.get("__main__")
+        saved_mp = sys.modules.get("__mp_main__")
+        saved_path = worker._main_fixup_path
+        try:
+            worker._fixup_main_module(str(script_a))
+            assert sys.modules["__main__"].MARKER == "a"
+            installed = sys.modules["__mp_main__"]
+            worker._fixup_main_module(str(script_a))  # same parent: no-op
+            assert sys.modules["__mp_main__"] is installed
+            worker._fixup_main_module(str(script_b))  # new parent: rebind
+            assert sys.modules["__main__"].MARKER == "b"
+        finally:
+            worker._main_fixup_path = saved_path
+            for name, saved in (("__mp_main__", saved_mp),
+                                ("__main__", saved_main)):
+                if saved is None:
+                    sys.modules.pop(name, None)
+                else:
+                    sys.modules[name] = saved
+
+
+class TestFleetHealthProbe:
+    def test_dead_serve_worker_detected_on_reuse(self):
+        """A serving worker killed between runs must surface as a typed
+        connect error on the next run (the ping probe catches the silently
+        half-open connection), not a mid-sweep stall."""
+        import subprocess
+        import sys
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--serve", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, text=True)
+        plan = _plan(_slow_once, units=4, flag="/nonexistent-flag")
+        try:
+            address = process.stdout.readline().split()[-1]
+            executor = RemoteExecutor(hosts=[address], connect_timeout=1.0)
+            try:
+                first = run_plan(plan, executor=executor)
+                assert len(first) == plan.num_units
+                process.terminate()
+                process.wait(timeout=10)
+                with pytest.raises(TransportConnectError):
+                    run_plan(plan, executor=executor)
+            finally:
+                executor.close()
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+
+class TestRetryBudget:
+    def test_exhaustion_surfaces_original_error_and_worker_traceback(self):
+        plan = _plan(_boom, units=4)
+        executor = RemoteExecutor(workers=2, max_retries=1, speculate=False)
+        try:
+            with pytest.raises(ValueError, match="boom at unit 2") as info:
+                run_plan(plan, executor=executor)
+        finally:
+            executor.close()
+        # max_retries=1 means two attempts total before giving up.
+        assert executor.last_run_stats["retries"] == 1
+        notes = "\n".join(getattr(info.value, "__notes__", ()))
+        assert "retry budget 1" in notes
+        assert "_boom" in notes  # the worker-side traceback rode along
