@@ -69,6 +69,17 @@ SAMPLE_ROUNDS = 3
 #: Minimum float32 speedup over the float64 baseline, per stage.
 SPEEDUP_THRESHOLDS = {"train_step": 1.8, "sampling": 1.5}
 
+#: Compiled-kernel (cjit) ladder: conv training-step workload and the
+#: minimum warmed-cjit speedup over the numpy backend.  The stage is the
+#: conv-dominated optimisation step (im2col -> BLAS matmul -> col2im ->
+#: Adam) because those are exactly the kernels the backend compiles; the
+#: full cVAE-GAN step is mostly shared BLAS + autograd bookkeeping and
+#: would measure the unroutable parts.
+CJIT_SPEEDUP_THRESHOLD = 1.3
+CONV_STEP_CHANNELS = 16
+CONV_STEPS_PER_ROUND = 5
+CONV_ROUNDS = 6
+
 #: Thresholds are enforced only on hosts with at least this many cores:
 #: single-core runners are typically oversubscribed CI shares whose timings
 #: are too noisy to gate on (the numbers are still recorded and tracked).
@@ -90,24 +101,26 @@ def _ladder_dataset():
                                    array_size=TRAIN_ARRAY_SIZE)
 
 
-def _interleaved_best(stage32, stage64, rounds: int) -> dict[str, float]:
-    """Best-observed seconds per stage, alternating the two precisions.
+def _interleaved_best(stage_a, stage_b, rounds: int,
+                      labels: tuple[str, str] = ("float32", "float64")
+                      ) -> dict[str, float]:
+    """Best-observed seconds per stage, alternating the two variants.
 
-    Interleaving means slow drift on a shared host hits both precisions
+    Interleaving means slow drift on a shared host hits both variants
     equally, and taking the minimum discards one-sided interference (other
     processes only ever add time), so the reported ratio is the ratio of
     the actual compute costs rather than of scheduler luck.
     """
-    stage32()  # warm-up both (allocations, BLAS thread spin-up)
-    stage64()
-    durations: dict[str, list[float]] = {"float32": [], "float64": []}
+    stage_a()  # warm-up both (allocations, BLAS thread spin-up)
+    stage_b()
+    durations: dict[str, list[float]] = {label: [] for label in labels}
     for _ in range(rounds):
-        for dtype, stage in (("float32", stage32), ("float64", stage64)):
+        for label, stage in zip(labels, (stage_a, stage_b)):
             start = time.perf_counter()
             stage()
-            durations[dtype].append(time.perf_counter() - start)
-    return {dtype: float(min(times))
-            for dtype, times in durations.items()}
+            durations[label].append(time.perf_counter() - start)
+    return {label: float(min(times))
+            for label, times in durations.items()}
 
 
 def _train_steps(dtype: str, dataset):
@@ -142,6 +155,103 @@ def _sampling_pass(dtype: str):
         for _ in range(SAMPLE_PASSES_PER_ROUND):
             channel.read_repeated(blocks, 7000, num_samples=SAMPLE_COUNT)
     return stage
+
+
+def _conv_train_steps(backend):
+    """A zero-argument 'conv training step' stage for the cjit ladder.
+
+    One pix2pix-style 4x4/stride-2 convolution: forward lowering
+    (im2col + BLAS matmul), squared-activation loss, backward (col2im +
+    weight-gradient im2col) and an Adam update — the exact kernel mix the
+    compiled backend routes through C.
+    """
+    from repro.nn import Tensor
+    from repro.nn import functional as F
+    from repro.nn.backend import use_backend
+    from repro.nn.optim import Adam
+
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal(
+        (TRAIN_BATCH, CONV_STEP_CHANNELS,
+         TRAIN_ARRAY_SIZE, TRAIN_ARRAY_SIZE)).astype(np.float32),
+        requires_grad=True)
+    w = Tensor((rng.standard_normal(
+        (CONV_STEP_CHANNELS, CONV_STEP_CHANNELS, 4, 4)) * 0.02)
+        .astype(np.float32), requires_grad=True)
+    optimizer = Adam([w], lr=1e-3)
+
+    def stage():
+        with use_backend(backend):
+            for _ in range(CONV_STEPS_PER_ROUND):
+                out = F.conv2d(x, w, stride=2, padding=1)
+                loss = (out * out).mean()
+                x.zero_grad()
+                w.zero_grad()
+                loss.backward()
+                optimizer.step()
+    return stage
+
+
+def run_cjit_benchmark() -> dict | None:
+    """Warmed compiled-kernel vs numpy backend on the conv training step.
+
+    Returns ``None`` (after printing why) when no C compiler is present —
+    the cjit backend would silently fall back to the very kernels it is
+    being compared against.  The backend instance is built once and kept
+    across rounds: per-round reconstruction would re-verify and re-dlopen
+    every cached kernel and measure cache plumbing instead of kernels.
+    """
+    from repro.nn.backend import build_backend
+    from repro.nn.cjit import cjit_available
+
+    if not cjit_available():
+        print("skipping cjit benchmark: no C compiler (cc/clang/gcc) "
+              "on PATH")
+        return None
+    cjit = build_backend("cjit")
+    warmed = cjit.warm(dtypes=("float32",))
+    timings = _interleaved_best(_conv_train_steps(cjit),
+                                _conv_train_steps(build_backend("numpy")),
+                                CONV_ROUNDS, labels=("cjit", "numpy"))
+    stats = cjit.stats()
+    return {
+        "conv_step": {
+            "array_size": TRAIN_ARRAY_SIZE,
+            "batch_size": TRAIN_BATCH,
+            "channels": CONV_STEP_CHANNELS,
+            "cjit_seconds": timings["cjit"] / CONV_STEPS_PER_ROUND,
+            "numpy_seconds": timings["numpy"] / CONV_STEPS_PER_ROUND,
+            "speedup": timings["numpy"] / timings["cjit"],
+        },
+        "compiler": stats["compiler"],
+        "warmed_kernels": warmed,
+        "compiled": stats["compiled"],
+        "cache_hits": stats["cache"]["hits"],
+        "fallbacks": stats["fallbacks"],
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def check_cjit_threshold(results: dict) -> list[str]:
+    """Core-gated compiled-vs-numpy speedup failure (empty list = pass)."""
+    if results["cpu_count"] < GATE_MIN_CORES:
+        return []
+    speedup = results["conv_step"]["speedup"]
+    if speedup < CJIT_SPEEDUP_THRESHOLD:
+        return [f"conv_step: warmed cjit is {speedup:.2f}x over numpy, "
+                f"below the {CJIT_SPEEDUP_THRESHOLD:.1f}x threshold"]
+    return []
+
+
+def merge_cjit_results(results: dict):
+    """Fold a cjit run into the tracked file (``cjit`` + ``cjit_series``)."""
+    series = load_results().get("cjit_series", [])
+    series.append(series_entry(results["cpu_count"], {
+        "cjit_conv_step_speedup": results["conv_step"]["speedup"],
+        "cjit_steps_per_second":
+            1.0 / results["conv_step"]["cjit_seconds"],
+    }))
+    return _merge_tracked_results({"cjit": results, "cjit_series": series})
 
 
 def run_training_benchmark() -> dict:
@@ -268,12 +378,36 @@ def main() -> None:
                              "train->sample->FER acceptance path")
     parser.add_argument("--skip-ladder", action="store_true",
                         help="run only the smoke path (no timing ladder)")
+    parser.add_argument("--backend", choices=("numpy", "cjit"),
+                        default="numpy",
+                        help="'numpy' runs the float32-vs-float64 precision "
+                             "ladder; 'cjit' runs the warmed compiled-kernel "
+                             "vs numpy conv-training-step comparison")
     args = parser.parse_args()
 
     if args.smoke:
         smoke = run_float32_smoke()
         print("float32 smoke:", json.dumps(smoke, indent=2))
     if args.skip_ladder:
+        return
+
+    if args.backend == "cjit":
+        results = run_cjit_benchmark()
+        if results is None:
+            return  # no compiler: nothing honest to measure or record
+        path = merge_cjit_results(results)
+        print(json.dumps(results, indent=2))
+        print(f"merged into {path}")
+        failures = check_cjit_threshold(results)
+        if failures:
+            raise SystemExit("cjit regression: " + "; ".join(failures))
+        alerts = check_series_regression(load_results().get("cjit_series",
+                                                            []))
+        if results["cpu_count"] < GATE_MIN_CORES:
+            for alert in alerts:
+                print(f"WARNING cjit series regression: {alert}")
+        elif alerts:
+            raise SystemExit("cjit series regression: " + "; ".join(alerts))
         return
 
     results = run_training_benchmark()

@@ -41,6 +41,10 @@ from repro.artifacts.checkpoint import (
     save_baseline,
     save_model,
 )
+from repro.artifacts.kernels import (
+    KernelCache,
+    default_kernel_cache_dir,
+)
 from repro.artifacts.registry_io import (
     check_probe,
     checkpoint_registry_name,
@@ -71,4 +75,6 @@ __all__ = [
     "checkpoint_registry_name",
     "compute_probe",
     "check_probe",
+    "KernelCache",
+    "default_kernel_cache_dir",
 ]

@@ -65,15 +65,23 @@ def compute_probe(channel, *, pe_cycles: float | None = None,
     backend with a seeded generator, and digests the float64 output bytes.
     Two backends produce the same probe digest iff their ``read_voltages``
     output is bit-identical for this (seed, condition).
+
+    The draw is pinned to the ``"numpy"`` array backend regardless of which
+    backend is active in the calling thread: probe digests are part of the
+    checkpoint contract, so an accelerated backend (e.g. ``"cjit"``) active
+    during ``save_channel`` or ``load_channel(run_probe=True)`` must not
+    leak its own rounding into the recorded fingerprint.
     """
     from repro.flash.cell import NUM_LEVELS
+    from repro.nn.backend import use_backend
 
     if pe_cycles is None:
         pe_cycles = _default_probe_pe(channel)
     levels_rng = np.random.default_rng(seed)
     levels = levels_rng.integers(0, NUM_LEVELS, size=shape)
-    voltages = channel.read_voltages(levels, pe_cycles,
-                                     rng=np.random.default_rng(seed + 1))
+    with use_backend("numpy"):
+        voltages = channel.read_voltages(levels, pe_cycles,
+                                         rng=np.random.default_rng(seed + 1))
     payload = np.ascontiguousarray(voltages, dtype=np.float64).tobytes()
     return {"seed": int(seed), "pe_cycles": float(pe_cycles),
             "shape": list(shape),

@@ -360,3 +360,72 @@ def use_backend(backend: str | ArrayBackend):
         yield set_backend(backend)
     finally:
         _STATE.current = previous
+
+
+# The compiled-kernel backend registers itself on import; it only touches
+# this module and the stdlib at import time (compiler detection and cache
+# I/O happen lazily), so registration is cheap and cycle-free.
+from repro.nn import cjit as _cjit  # noqa: E402,F401  (registers "cjit")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.nn.backend``: registry + compiler report, ``--warm``.
+
+    Lists every registered array backend, reports whether the ``cjit``
+    backend has a working C compiler (and which), and with ``--warm``
+    pre-compiles the standard kernel set into the on-disk kernel cache so
+    later runs skip compilation entirely.
+    """
+    import argparse
+
+    # Under ``python -m`` this file runs as ``__main__`` — a separate module
+    # object from the canonical ``repro.nn.backend`` that accelerated
+    # backends register into, so the report must read the canonical state.
+    from repro.nn import backend as canonical
+    from repro.nn.cjit import find_compiler
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.nn.backend",
+        description="Inspect the array-kernel backend registry and manage "
+                    "the compiled-kernel (cjit) cache.")
+    parser.add_argument("--warm", action="store_true",
+                        help="pre-compile the standard cjit kernel set into "
+                             "the kernel cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="kernel cache directory (default: "
+                             "$REPRO_KERNEL_CACHE or ./.repro-kernel-cache)")
+    args = parser.parse_args(argv)
+
+    registry = canonical.BACKEND_REGISTRY
+    current = canonical.get_backend().name
+    print("registered array backends:")
+    for name in sorted(registry):
+        marker = " (current)" if name == current else ""
+        print(f"  {name}: {registry[name].__name__}{marker}")
+
+    compiler = find_compiler()
+    if compiler is None:
+        print("cjit compiler: none found (cc/clang/gcc) — the cjit backend "
+              "falls back to NumPy kernels")
+        if args.warm:
+            print("cannot --warm without a C compiler")
+            return 1
+        return 0
+    print(f"cjit compiler: {compiler.path} ({compiler.version})")
+
+    backend = canonical.build_backend("cjit", cache_dir=args.cache_dir)
+    print(f"kernel cache: {backend.cache.directory}")
+    if args.warm:
+        count = backend.warm()
+        stats = backend.stats()
+        print(f"warmed {count} kernels "
+              f"({stats['compiled']} compiled, "
+              f"{stats['cache']['hits']} already cached)")
+    else:
+        print(f"cached kernels: {backend.cache.stats()['entries']} "
+              "(use --warm to pre-compile the standard set)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

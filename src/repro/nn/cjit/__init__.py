@@ -1,0 +1,57 @@
+"""Compiled C-kernel backend for :mod:`repro.nn`: codegen → cc JIT → dlopen.
+
+The package splits the tinygrad runtime pattern into three layers:
+
+* :mod:`repro.nn.cjit.render` — emit one small C translation unit per
+  (kernel, window shape, dtype);
+* :mod:`repro.nn.cjit.compiler` — detect ``cc``/``clang``/``gcc``, compile
+  with ``-O3 -fPIC -shared -ffp-contract=off``, ``dlopen`` via ctypes;
+* :mod:`repro.nn.cjit.backend` — :class:`CJitBackend`, registered as
+  ``"cjit"`` in the :mod:`repro.nn.backend` registry, with per-op NumPy
+  fallback and an on-disk kernel cache
+  (:class:`repro.artifacts.kernels.KernelCache`) so warm runs never invoke
+  the compiler.
+
+Usage mirrors every other backend::
+
+    from repro.nn import backend
+    with backend.use_backend("cjit"):
+        ...        # conv/loss/optimizer kernels now run compiled C
+
+``python -m repro.nn.backend`` reports compiler availability and
+``--warm`` pre-compiles the standard kernel set.
+"""
+
+from repro.nn.backend import register_backend
+from repro.nn.cjit.backend import CJitBackend, kernel_cache_key
+from repro.nn.cjit.compiler import (
+    CompilerInfo,
+    KernelCompileError,
+    find_compiler,
+    platform_tag,
+)
+from repro.nn.cjit.render import (
+    KernelSpec,
+    render_kernel,
+    standard_kernel_specs,
+)
+
+__all__ = [
+    "CJitBackend",
+    "CompilerInfo",
+    "KernelCompileError",
+    "KernelSpec",
+    "cjit_available",
+    "find_compiler",
+    "kernel_cache_key",
+    "platform_tag",
+    "render_kernel",
+    "standard_kernel_specs",
+]
+
+register_backend(CJitBackend.name, CJitBackend)
+
+
+def cjit_available() -> bool:
+    """Whether a C compiler is present (compiled kernels vs pure fallback)."""
+    return find_compiler() is not None

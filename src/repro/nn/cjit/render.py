@@ -1,0 +1,468 @@
+"""C-source renderer for the compiled-kernel backend.
+
+Each hot kernel of :mod:`repro.nn.backend` is *rendered* to a small,
+self-contained C translation unit, specialized at render time for the
+operator's compile-time shape (the convolution window ``kernel / stride /
+padding``) and the element dtype; array extents stay runtime arguments so
+one compiled object serves every batch size.  The pattern follows
+tinygrad's ``renderer/cstyle.py`` → ``runtime/ops_clang.py`` split: render
+to C-style source here, compile and ``dlopen`` in
+:mod:`repro.nn.cjit.compiler`.
+
+Exactness contract (mirrored by the conformance tests):
+
+* ``im2col`` / ``col2im`` are pure indexing (gather / ordered scatter-add)
+  and reproduce the NumPy kernels **bit-identically** — ``col2im``
+  accumulates contributions in the same ascending ``(i, j)`` window order
+  as the NumPy loop, and compilation pins ``-ffp-contract=off`` so no FMA
+  contraction changes a rounding.
+* ``sgd_update`` / ``adam_update`` replay the exact NumPy operation
+  sequence (scalars pre-cast to the parameter dtype, one rounding per
+  multiply/add/sqrt/divide) and are **bit-identical** too.
+* The fused loss reductions accumulate in float64 like their NumPy
+  counterparts but sum sequentially rather than pairwise, so loss scalars
+  agree to documented tolerances (~1e-12 relative in float64) instead of
+  bit-for-bit.
+* The tiled matmul is a BLAS-free fallback with its own summation order;
+  it is opt-in (``REPRO_CJIT_MATMUL=1``) because NumPy's BLAS is both
+  faster and the parity reference.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from dataclasses import dataclass, field
+
+__all__ = ["KernelSpec", "render_kernel", "conv_spec", "reduce_spec",
+           "update_spec", "elementwise_spec", "matmul_spec",
+           "standard_kernel_specs", "SUPPORTED_DTYPES"]
+
+#: Dtypes the renderer can specialize for (everything else falls back).
+SUPPORTED_DTYPES = ("float32", "float64")
+
+_CTYPE = {"float32": "float", "float64": "double"}
+_SUFFIX = {"float32": "f32", "float64": "f64"}
+#: dtype-suffixed libm calls used inside rendered bodies.
+_MATH = {
+    "float32": {"exp": "expf", "log1p": "log1pf", "fabs": "fabsf",
+                "sqrt": "sqrtf"},
+    "float64": {"exp": "exp", "log1p": "log1p", "fabs": "fabs",
+                "sqrt": "sqrt"},
+}
+
+_PRELUDE = """\
+/* Rendered by repro.nn.cjit.render — do not edit. */
+#include <math.h>
+#include <stdint.h>
+typedef int64_t i64;
+"""
+
+_I64 = ctypes.c_int64
+_F64 = ctypes.c_double
+
+
+def _ptr(dtype: str):
+    return ctypes.POINTER(ctypes.c_float if dtype == "float32"
+                          else ctypes.c_double)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One renderable kernel: operator + dtype + baked shape constants.
+
+    ``params`` are the compile-time specialization constants (for the conv
+    kernels the window geometry); they are baked into the source as
+    ``#define``-free literal constants so the compiler can unroll and
+    strength-reduce the window loops.
+    """
+
+    op: str
+    dtype: str
+    params: tuple[tuple[str, int], ...] = ()
+    #: ctypes argument types of the exported function, in call order.
+    argtypes: tuple = field(default=(), compare=False)
+    #: ctypes result type (None for void kernels).
+    restype: object = field(default=None, compare=False)
+
+    @property
+    def symbol(self) -> str:
+        """The exported C function name (also the cache display name)."""
+        tail = "".join(f"_{name[0]}{value}" for name, value in self.params)
+        return f"{self.op}_{_SUFFIX[self.dtype]}{tail}"
+
+    def configure(self, library: ctypes.CDLL):
+        """Fetch the symbol from a loaded library with typed signature."""
+        fn = getattr(library, self.symbol)
+        fn.argtypes = list(self.argtypes)
+        fn.restype = self.restype
+        return fn
+
+
+# --------------------------------------------------------------------- #
+# Spec constructors (one per operator family)
+# --------------------------------------------------------------------- #
+def conv_spec(op: str, dtype: str, kernel: int, stride: int,
+              padding: int) -> KernelSpec:
+    """``im2col`` / ``col2im`` spec with the window geometry baked in."""
+    ptr = _ptr(dtype)
+    return KernelSpec(
+        op=op, dtype=dtype,
+        params=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+        argtypes=(ptr, ptr, _I64, _I64, _I64, _I64, _I64, _I64),
+    )
+
+
+def reduce_spec(op: str, dtype: str) -> KernelSpec:
+    """Fused elementwise+reduction spec (float64 scalar accumulation)."""
+    ptr = _ptr(dtype)
+    if op == "gaussian_kl":
+        argtypes = (ptr, ptr, _I64)
+    elif op == "bce_logits":
+        argtypes = (ptr, _I64, _F64)
+    else:  # sum_squares, abs_sum
+        argtypes = (ptr, _I64)
+    return KernelSpec(op=op, dtype=dtype, argtypes=argtypes, restype=_F64)
+
+
+def update_spec(op: str, dtype: str) -> KernelSpec:
+    """In-place optimizer update spec (hyper-parameters stay runtime)."""
+    ptr = _ptr(dtype)
+    if op == "sgd_update":
+        argtypes = (ptr, ptr, ptr, _I64, _F64, _F64, _F64, _I64)
+    elif op == "adam_update":
+        argtypes = (ptr, ptr, ptr, ptr, _I64,
+                    _F64, _F64, _F64, _F64, _F64, _F64, _F64)
+    else:
+        raise ValueError(f"unknown update kernel {op!r}")
+    return KernelSpec(op=op, dtype=dtype, argtypes=argtypes)
+
+
+def elementwise_spec(op: str, dtype: str) -> KernelSpec:
+    """Single-pass elementwise spec (currently ``leaky_relu``)."""
+    ptr = _ptr(dtype)
+    return KernelSpec(op=op, dtype=dtype, argtypes=(ptr, ptr, _I64, _F64))
+
+
+def matmul_spec(dtype: str) -> KernelSpec:
+    """Batched BLAS-free tiled matmul spec (runtime dims + batch strides)."""
+    ptr = _ptr(dtype)
+    return KernelSpec(op="matmul", dtype=dtype,
+                      argtypes=(ptr, ptr, ptr,
+                                _I64, _I64, _I64, _I64, _I64, _I64))
+
+
+# --------------------------------------------------------------------- #
+# Source rendering
+# --------------------------------------------------------------------- #
+def _render_im2col(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    params = dict(spec.params)
+    K, S, P = params["kernel"], params["stride"], params["padding"]
+    return f"""\
+/* Gather an NCHW plane into (n, c, {K}, {K}, oh, ow) convolution columns.
+   Pure indexing: bit-identical to the NumPy pad + strided-slice kernel.
+   The in-bounds ox range [lo, hi) is hoisted out of the inner loop so the
+   copy itself is branch-free and vectorizable. */
+void {spec.symbol}(const {T}* restrict x, {T}* restrict cols,
+                   i64 n, i64 c, i64 h, i64 w, i64 oh, i64 ow) {{
+    {T}* out = cols;
+    for (i64 b = 0; b < n; ++b)
+    for (i64 ch = 0; ch < c; ++ch) {{
+        const {T}* plane = x + (b * c + ch) * h * w;
+        for (i64 i = 0; i < {K}; ++i)
+        for (i64 j = 0; j < {K}; ++j) {{
+            /* 0 <= j + S*ox - P < w  <=>  lo <= ox < hi */
+            i64 lo = {P} - j + {S} - 1;
+            lo = lo > 0 ? lo / {S} : 0;
+            if (lo > ow) lo = ow;
+            i64 hi = (w + {P} - j + {S} - 1) / {S};
+            if (hi > ow) hi = ow;
+            if (hi < lo) hi = lo;
+            for (i64 oy = 0; oy < oh; ++oy) {{
+                const i64 iy = i + {S} * oy - {P};
+                if (iy < 0 || iy >= h) {{
+                    for (i64 ox = 0; ox < ow; ++ox) out[ox] = ({T})0;
+                    out += ow;
+                    continue;
+                }}
+                const {T}* row = plane + iy * w;
+                for (i64 ox = 0; ox < lo; ++ox) out[ox] = ({T})0;
+                for (i64 ox = lo; ox < hi; ++ox)
+                    out[ox] = row[{S} * ox + j - {P}];
+                for (i64 ox = hi; ox < ow; ++ox) out[ox] = ({T})0;
+                out += ow;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _render_col2im(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    params = dict(spec.params)
+    K, S, P = params["kernel"], params["stride"], params["padding"]
+    return f"""\
+/* Scatter-add (n, c, {K}, {K}, oh, ow) columns onto a zeroed NCHW grid.
+   Contributions accumulate in ascending (i, j) window order — the same
+   order as the NumPy loop — so the result is bit-identical. */
+void {spec.symbol}(const {T}* restrict cols, {T}* restrict out,
+                   i64 n, i64 c, i64 h, i64 w, i64 oh, i64 ow) {{
+    for (i64 b = 0; b < n; ++b)
+    for (i64 ch = 0; ch < c; ++ch) {{
+        {T}* plane = out + (b * c + ch) * h * w;
+        const {T}* col = cols + (b * c + ch) * {K * K} * oh * ow;
+        for (i64 i = 0; i < {K}; ++i)
+        for (i64 j = 0; j < {K}; ++j) {{
+            /* 0 <= j + S*ox - P < w  <=>  lo <= ox < hi; within one
+               (i, j) window every target element is distinct, so the
+               hoisted range does not reorder any accumulation. */
+            i64 lo = {P} - j + {S} - 1;
+            lo = lo > 0 ? lo / {S} : 0;
+            if (lo > ow) lo = ow;
+            i64 hi = (w + {P} - j + {S} - 1) / {S};
+            if (hi > ow) hi = ow;
+            if (hi < lo) hi = lo;
+            for (i64 oy = 0; oy < oh; ++oy) {{
+                const i64 iy = i + {S} * oy - {P};
+                if (iy < 0 || iy >= h) continue;
+                const {T}* src = col + ((i * {K} + j) * oh + oy) * ow;
+                {T}* row = plane + iy * w;
+                for (i64 ox = lo; ox < hi; ++ox)
+                    row[{S} * ox + j - {P}] += src[ox];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _render_sum_squares(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    return f"""\
+/* sum(x*x) with float64 accumulation (sequential order). */
+double {spec.symbol}(const {T}* x, i64 n) {{
+    double acc = 0.0;
+    for (i64 i = 0; i < n; ++i) {{
+        const double v = (double)x[i];
+        acc += v * v;
+    }}
+    return acc;
+}}
+"""
+
+
+def _render_abs_sum(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    return f"""\
+/* sum(|x|) with float64 accumulation (sequential order). */
+double {spec.symbol}(const {T}* x, i64 n) {{
+    double acc = 0.0;
+    for (i64 i = 0; i < n; ++i)
+        acc += fabs((double)x[i]);
+    return acc;
+}}
+"""
+
+
+def _render_bce_logits(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    m = _MATH[spec.dtype]
+    return f"""\
+/* sum(max(x, 0) - x*y + log1p(exp(-|x|))), elementwise in {T},
+   accumulated in float64.  One pass instead of NumPy's six. */
+double {spec.symbol}(const {T}* x, i64 n, double target) {{
+    const {T} y = ({T})target;
+    double acc = 0.0;
+    for (i64 i = 0; i < n; ++i) {{
+        const {T} xi = x[i];
+        const {T} relu = xi > ({T})0 ? xi : ({T})0;
+        const {T} loss = relu - xi * y + {m['log1p']}({m['exp']}(-{m['fabs']}(xi)));
+        acc += (double)loss;
+    }}
+    return acc;
+}}
+"""
+
+
+def _render_gaussian_kl(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    m = _MATH[spec.dtype]
+    return f"""\
+/* sum(1 + logvar - mu^2 - exp(logvar)), elementwise in {T}, float64
+   accumulation; the caller applies the -0.5 / batch scaling. */
+double {spec.symbol}(const {T}* mu, const {T}* logvar, i64 n) {{
+    double acc = 0.0;
+    for (i64 i = 0; i < n; ++i) {{
+        const {T} mi = mu[i];
+        const {T} lv = logvar[i];
+        const {T} term = ({T})1 + lv - mi * mi - {m['exp']}(lv);
+        acc += (double)term;
+    }}
+    return acc;
+}}
+"""
+
+
+def _render_sgd_update(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    return f"""\
+/* One in-place SGD step: replays the NumPy operation sequence exactly
+   (scalars pre-cast to {T}, one rounding per op, no FMA contraction). */
+void {spec.symbol}({T}* p, const {T}* g, {T}* vel, i64 n,
+                   double lr, double momentum, double weight_decay,
+                   i64 has_velocity) {{
+    const {T} lr_t = ({T})lr;
+    const {T} mom_t = ({T})momentum;
+    const {T} wd_t = ({T})weight_decay;
+    const int use_wd = weight_decay != 0.0;
+    for (i64 i = 0; i < n; ++i) {{
+        {T} gi = g[i];
+        if (use_wd) gi = gi + wd_t * p[i];
+        if (has_velocity) {{
+            const {T} v = vel[i] * mom_t + gi;
+            vel[i] = v;
+            gi = v;
+        }}
+        p[i] -= lr_t * gi;
+    }}
+}}
+"""
+
+
+def _render_adam_update(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    m = _MATH[spec.dtype]
+    return f"""\
+/* One in-place Adam step (moment buffers updated in place): the exact
+   NumPy sequence — m = m*b1 + (1-b1)*g; v = v*b2 + ((1-b2)*g)*g;
+   p -= lr*(m/bc1) / (sqrt(v/bc2) + eps) — with every scalar pre-cast
+   to {T} and no FMA contraction, so the update is bit-identical. */
+void {spec.symbol}({T}* p, const {T}* g, {T}* m, {T}* v, i64 n,
+                   double lr, double beta1, double beta2, double eps,
+                   double bias_correction1, double bias_correction2,
+                   double weight_decay) {{
+    const {T} lr_t = ({T})lr;
+    const {T} b1_t = ({T})beta1;
+    const {T} b2_t = ({T})beta2;
+    const {T} c1_t = ({T})(1.0 - beta1);
+    const {T} c2_t = ({T})(1.0 - beta2);
+    const {T} eps_t = ({T})eps;
+    const {T} bc1_t = ({T})bias_correction1;
+    const {T} bc2_t = ({T})bias_correction2;
+    const {T} wd_t = ({T})weight_decay;
+    const int use_wd = weight_decay != 0.0;
+    for (i64 i = 0; i < n; ++i) {{
+        {T} gi = g[i];
+        if (use_wd) gi = gi + wd_t * p[i];
+        const {T} mi = m[i] * b1_t + c1_t * gi;
+        {T} vt = c2_t * gi;
+        vt = vt * gi;
+        const {T} vi = v[i] * b2_t + vt;
+        m[i] = mi;
+        v[i] = vi;
+        const {T} m_hat = mi / bc1_t;
+        const {T} v_hat = vi / bc2_t;
+        p[i] -= (lr_t * m_hat) / ({m['sqrt']}(v_hat) + eps_t);
+    }}
+}}
+"""
+
+
+def _render_leaky_relu(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    return f"""\
+/* where(x > 0, x, x * slope) in one pass (NaN propagates like NumPy). */
+void {spec.symbol}(const {T}* x, {T}* out, i64 n, double slope) {{
+    const {T} s = ({T})slope;
+    for (i64 i = 0; i < n; ++i) {{
+        const {T} xi = x[i];
+        out[i] = xi > ({T})0 ? xi : xi * s;
+    }}
+}}
+"""
+
+
+#: Block edge of the cache-tiled matmul fallback.
+_MATMUL_TILE = 64
+
+
+def _render_matmul(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    TK = _MATMUL_TILE
+    return f"""\
+/* Batched BLAS-free matmul: out[b] += a[b] @ bmat[b] over a zeroed out.
+   k is blocked in {TK}-wide tiles so each (i, k-tile) pass streams one
+   cached row of a against rows of bmat; a_stride/b_stride are 0 when the
+   operand is broadcast across the batch. */
+void {spec.symbol}(const {T}* a, const {T}* bmat, {T}* out,
+                   i64 batch, i64 m, i64 k, i64 n,
+                   i64 a_stride, i64 b_stride) {{
+    for (i64 b = 0; b < batch; ++b) {{
+        const {T}* A = a + b * a_stride;
+        const {T}* B = bmat + b * b_stride;
+        {T}* O = out + b * m * n;
+        for (i64 k0 = 0; k0 < k; k0 += {TK}) {{
+            const i64 k1 = k0 + {TK} < k ? k0 + {TK} : k;
+            for (i64 i = 0; i < m; ++i) {{
+                {T}* orow = O + i * n;
+                for (i64 kk = k0; kk < k1; ++kk) {{
+                    const {T} aval = A[i * k + kk];
+                    const {T}* brow = B + kk * n;
+                    for (i64 j = 0; j < n; ++j)
+                        orow[j] += aval * brow[j];
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+_RENDERERS = {
+    "im2col": _render_im2col,
+    "col2im": _render_col2im,
+    "sum_squares": _render_sum_squares,
+    "abs_sum": _render_abs_sum,
+    "bce_logits": _render_bce_logits,
+    "gaussian_kl": _render_gaussian_kl,
+    "sgd_update": _render_sgd_update,
+    "adam_update": _render_adam_update,
+    "leaky_relu": _render_leaky_relu,
+    "matmul": _render_matmul,
+}
+
+
+def render_kernel(spec: KernelSpec) -> str:
+    """The complete C translation unit for one kernel spec."""
+    if spec.dtype not in SUPPORTED_DTYPES:
+        raise ValueError(f"cannot render dtype {spec.dtype!r}; supported: "
+                         f"{SUPPORTED_DTYPES}")
+    try:
+        body = _RENDERERS[spec.op]
+    except KeyError:
+        raise ValueError(f"unknown kernel op {spec.op!r}; available: "
+                         f"{sorted(_RENDERERS)}") from None
+    return _PRELUDE + "\n" + body(spec)
+
+
+#: Convolution window geometries used by the paper's architectures
+#: (pix2pix 4x4/s2/p1 blocks, the PatchGAN 4x4/s1/p1 head, the ResNet
+#: encoder's 3x3/s1/p1 stem) — the standard warm set.
+STANDARD_CONV_GEOMETRIES = ((4, 2, 1), (4, 1, 1), (3, 1, 1))
+
+
+def standard_kernel_specs(dtypes=SUPPORTED_DTYPES) -> list[KernelSpec]:
+    """The kernel set ``--warm`` pre-compiles into the cache."""
+    specs: list[KernelSpec] = []
+    for dtype in dtypes:
+        for kernel, stride, padding in STANDARD_CONV_GEOMETRIES:
+            specs.append(conv_spec("im2col", dtype, kernel, stride, padding))
+            specs.append(conv_spec("col2im", dtype, kernel, stride, padding))
+        for op in ("sum_squares", "abs_sum", "bce_logits", "gaussian_kl"):
+            specs.append(reduce_spec(op, dtype))
+        specs.append(update_spec("sgd_update", dtype))
+        specs.append(update_spec("adam_update", dtype))
+        specs.append(elementwise_spec("leaky_relu", dtype))
+        specs.append(matmul_spec(dtype))
+    return specs

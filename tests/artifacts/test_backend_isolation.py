@@ -1,0 +1,98 @@
+"""Zoo checkpoints must be independent of the active array backend.
+
+Regression tests for the backend-leak bug: with an accelerated backend
+(``"cjit"`` or anything else registered) active during ``save_channel``,
+the checkpoint's manifest, payload hashes and sampling-probe digest must be
+exactly what a plain-numpy save produces — and a checkpoint saved under an
+accelerated backend must reload bit-identically under numpy.  The probe is
+the subtle leak vector: it digests a live ``read_voltages`` draw, so it is
+pinned to the numpy backend regardless of what the calling thread uses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import compute_probe, load_channel, save_channel
+from repro.artifacts.manifest import MANIFEST_FILENAME
+from repro.nn.backend import NumpyBackend, use_backend
+from repro.nn.cjit import cjit_available
+
+needs_compiler = pytest.mark.skipif(
+    not cjit_available(), reason="no C compiler (cc/clang/gcc) on PATH")
+
+
+class _PerturbingBackend(NumpyBackend):
+    """A backend whose matmul is deliberately *not* bit-identical.
+
+    If any probe or payload computation ran through the thread's active
+    backend, saving under this one would change the recorded digests.
+    """
+
+    name = "_perturbing"
+
+    def matmul(self, a, b, out=None):
+        result = super().matmul(a, b, out=None)
+        result = result * (1.0 + 1e-3)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+
+def _save(channel, path, backend):
+    with use_backend(backend):
+        return save_channel(channel, path, training={"seed": 11})
+
+
+def test_probe_digest_ignores_active_backend(tmp_path, trained_channels):
+    channel = trained_channels["float32"]
+    canonical = _save(channel, tmp_path / "numpy-save", "numpy")
+    perturbed = _save(channel, tmp_path / "perturbed-save",
+                      _PerturbingBackend())
+    assert perturbed.probe["sha256"] == canonical.probe["sha256"]
+    assert perturbed.files == canonical.files
+
+
+def test_probe_matches_fresh_numpy_computation(trained_channels):
+    channel = trained_channels["float32"]
+    with use_backend(_PerturbingBackend()):
+        under_perturbing = compute_probe(channel)
+    assert under_perturbing["sha256"] == compute_probe(channel)["sha256"]
+
+
+@needs_compiler
+def test_checkpoint_saved_under_cjit_reloads_bit_identically(
+        tmp_path, trained_channels, cjit_backend):
+    channel = trained_channels["float32"]
+    canonical = _save(channel, tmp_path / "numpy-save", "numpy")
+    under_cjit = _save(channel, tmp_path / "cjit-save", cjit_backend)
+
+    # Identical payload hashes and probe: the backend left no fingerprint.
+    assert under_cjit.files == canonical.files
+    assert under_cjit.probe["sha256"] == canonical.probe["sha256"]
+
+    # No backend identity anywhere in the manifest.
+    manifest_text = (tmp_path / "cjit-save" / MANIFEST_FILENAME).read_text()
+    assert json.loads(manifest_text)  # well-formed
+    assert "cjit" not in manifest_text
+
+    # A cold reload under plain numpy replays the probe bit-identically.
+    restored = load_channel(tmp_path / "cjit-save", run_probe=True,
+                            rng=np.random.default_rng(99))
+    probe = compute_probe(restored)
+    assert probe["sha256"] == canonical.probe["sha256"]
+
+
+@needs_compiler
+def test_probe_check_passes_across_backends(tmp_path, trained_channels,
+                                            cjit_backend):
+    """Save under numpy, verify under cjit: the pin works both ways."""
+    channel = trained_channels["float32"]
+    _save(channel, tmp_path / "zoo", "numpy")
+    with use_backend(cjit_backend):
+        load_channel(tmp_path / "zoo", run_probe=True,
+                     rng=np.random.default_rng(7))

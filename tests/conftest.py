@@ -1,0 +1,20 @@
+"""Suite-wide fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def cjit_backend(tmp_path_factory):
+    """One compiled-kernel backend shared by the whole session.
+
+    Session-scoped so every test shares the in-process kernel memo and the
+    on-disk cache directory — each distinct kernel compiles at most once
+    per test run, and nothing is ever written into the repository tree.
+    On hosts without a C compiler the instance still constructs; tests that
+    need compiled kernels skip via ``cjit_available()``.
+    """
+    from repro.nn.cjit import CJitBackend
+
+    return CJitBackend(cache_dir=tmp_path_factory.mktemp("kernel-cache"))

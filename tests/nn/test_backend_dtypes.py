@@ -29,6 +29,15 @@ from repro.nn.backend import (
     build_backend,
     register_backend,
 )
+from repro.nn.cjit import cjit_available
+
+needs_compiler = pytest.mark.skipif(
+    not cjit_available(), reason="no C compiler (cc/clang/gcc) on PATH")
+
+#: Backends held to the reference kernels: numpy always, cjit when a
+#: compiler exists (without one it degenerates to the numpy kernels).
+CONFORMANCE_BACKENDS = ["numpy",
+                        pytest.param("cjit", marks=needs_compiler)]
 
 
 class TestDtypePolicy:
@@ -190,16 +199,23 @@ class TestBufferArena:
 
 
 class TestBackendConformance:
-    """The arena-backed numpy backend must match the plain reference kernels."""
+    """Every accelerated backend must match the plain reference kernels.
 
+    The conv lowering is pure indexing plus the shared BLAS matmul, so the
+    comparison is **bit-exact** for the numpy arena backend and for the
+    compiled-kernel (cjit) backend alike.
+    """
+
+    @pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
     @pytest.mark.parametrize("dtype", [np.float64, np.float32])
-    def test_conv2d_forward_backward(self, dtype):
+    def test_conv2d_forward_backward(self, dtype, backend_name, cjit_backend):
         rng = np.random.default_rng(7)
         x_data = rng.standard_normal((2, 3, 9, 9)).astype(dtype)
         w_data = (rng.standard_normal((4, 3, 4, 4)) * 0.1).astype(dtype)
         b_data = rng.standard_normal(4).astype(dtype)
+        under_test = cjit_backend if backend_name == "cjit" else backend_name
         results = {}
-        for name in ("numpy", "reference"):
+        for name in (under_test, "reference"):
             with use_backend(name):
                 x = Tensor(x_data, requires_grad=True)
                 w = Tensor(w_data, requires_grad=True)
@@ -207,23 +223,153 @@ class TestBackendConformance:
                 out = F.conv2d(x, w, b, stride=2, padding=1)
                 (out * out).sum().backward()
                 results[name] = (out.data, x.grad, w.grad, b.grad)
-        for got, want in zip(results["numpy"], results["reference"]):
+        for got, want in zip(results[under_test], results["reference"]):
             np.testing.assert_array_equal(got, want)
             assert got.dtype == dtype
 
+    @pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
     @pytest.mark.parametrize("dtype", [np.float64, np.float32])
-    def test_conv_transpose2d_inference(self, dtype):
+    def test_conv_transpose2d_inference(self, dtype, backend_name,
+                                        cjit_backend):
         rng = np.random.default_rng(8)
         x_data = rng.standard_normal((2, 4, 5, 5)).astype(dtype)
         w_data = (rng.standard_normal((4, 2, 4, 4)) * 0.1).astype(dtype)
+        under_test = cjit_backend if backend_name == "cjit" else backend_name
         results = {}
-        for name in ("numpy", "reference"):
+        for name in (under_test, "reference"):
             with use_backend(name), no_grad():
                 out = F.conv_transpose2d(Tensor(x_data), Tensor(w_data),
                                          stride=2, padding=1)
                 results[name] = out.data.copy()
-        np.testing.assert_array_equal(results["numpy"], results["reference"])
-        assert results["numpy"].dtype == dtype
+        np.testing.assert_array_equal(results[under_test],
+                                      results["reference"])
+        assert results[under_test].dtype == dtype
+
+
+@needs_compiler
+class TestCJitKernelConformance:
+    """Compiled kernels vs the NumPy kernels, per the documented contract.
+
+    Indexing kernels (im2col/col2im), the optimizer updates and
+    ``leaky_relu`` must be **bit-identical**; the fused loss reductions
+    accumulate in float64 sequentially instead of NumPy's pairwise order,
+    so their scalars are held to documented tolerances instead.
+    """
+
+    GEOMETRIES = [(4, 2, 1), (4, 1, 1), (3, 1, 1), (2, 2, 0)]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_im2col_col2im_bit_identical(self, dtype, geometry, cjit_backend):
+        kernel, stride, padding = geometry
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((2, 3, 9, 11)).astype(dtype)
+        reference = NumpyBackend()
+        cols_ref = reference.im2col(x, kernel, stride, padding)
+        cols_jit = cjit_backend.im2col(x, kernel, stride, padding)
+        np.testing.assert_array_equal(cols_jit, cols_ref)
+        assert cols_jit.dtype == dtype
+        grad_ref = reference.col2im(cols_ref, x.shape, kernel, stride,
+                                    padding)
+        grad_jit = cjit_backend.col2im(cols_ref, x.shape, kernel, stride,
+                                       padding)
+        np.testing.assert_array_equal(grad_jit, grad_ref)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("momentum,weight_decay",
+                             [(0.0, 0.0), (0.9, 0.0), (0.9, 0.01)])
+    def test_sgd_update_bit_identical(self, dtype, momentum, weight_decay,
+                                      cjit_backend):
+        reference = NumpyBackend()
+        states = {}
+        for backend in (reference, cjit_backend):
+            rng_local = np.random.default_rng(12)
+            param = rng_local.standard_normal(257).astype(dtype)
+            grad = rng_local.standard_normal(257).astype(dtype)
+            velocity = np.zeros_like(param) if momentum else None
+            for _ in range(3):
+                backend.sgd_update(param, grad, velocity, lr=0.05,
+                                   momentum=momentum,
+                                   weight_decay=weight_decay)
+            states[backend.name] = (param, velocity)
+        np.testing.assert_array_equal(states["cjit"][0], states["numpy"][0])
+        if momentum:
+            np.testing.assert_array_equal(states["cjit"][1],
+                                          states["numpy"][1])
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_adam_update_bit_identical(self, dtype, cjit_backend):
+        reference = NumpyBackend()
+        states = {}
+        for backend in (reference, cjit_backend):
+            rng_local = np.random.default_rng(13)
+            param = rng_local.standard_normal(193).astype(dtype)
+            grad = rng_local.standard_normal(193).astype(dtype)
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+            for step in range(1, 6):
+                backend.adam_update(param, grad, m, v, lr=1e-3, beta1=0.9,
+                                    beta2=0.999, eps=1e-8,
+                                    bias_correction1=1 - 0.9 ** step,
+                                    bias_correction2=1 - 0.999 ** step,
+                                    weight_decay=0.01)
+            states[backend.name] = (param, m, v)
+        for got, want in zip(states["cjit"], states["numpy"]):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_leaky_relu_bit_identical_and_nan_propagating(self, dtype,
+                                                          cjit_backend):
+        x = np.array([-2.0, -0.0, 0.0, 3.5, np.nan, -np.inf],
+                     dtype=dtype)
+        got = cjit_backend.leaky_relu(x, 0.2)
+        want = NumpyBackend().leaky_relu(x, 0.2)
+        np.testing.assert_array_equal(got, want)
+        assert np.isnan(got[4])
+
+    #: Relative tolerance of the fused loss scalars vs the NumPy pairwise
+    #: accumulation (see README "Compiled kernels (cjit)").
+    LOSS_RTOL = {np.dtype(np.float64): 1e-12, np.dtype(np.float32): 1e-5}
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_fused_loss_reductions_within_tolerance(self, dtype,
+                                                    cjit_backend):
+        rng = np.random.default_rng(14)
+        array = rng.standard_normal((8, 257)).astype(dtype)
+        reference = NumpyBackend()
+        rtol = self.LOSS_RTOL[np.dtype(dtype)]
+        for op, args in (("sum_squares", (array,)),
+                         ("mean_abs", (array,)),
+                         ("bce_logits", (array, 1.0)),
+                         ("bce_logits", (array, 0.0))):
+            got = getattr(cjit_backend, op)(*args)
+            want = getattr(reference, op)(*args)
+            assert got == pytest.approx(want, rel=rtol), op
+        mu = rng.standard_normal((8, 64)).astype(dtype)
+        logvar = (rng.standard_normal((8, 64)) * 0.3).astype(dtype)
+        assert cjit_backend.gaussian_kl(mu, logvar) == pytest.approx(
+            reference.gaussian_kl(mu, logvar), rel=rtol)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_opt_in_c_matmul_matches_blas(self, dtype, cjit_backend):
+        """The BLAS-free tiled matmul agrees with NumPy to float tolerance."""
+        from repro.nn.cjit import CJitBackend
+
+        backend = CJitBackend(cache_dir=cjit_backend.cache.directory,
+                              c_matmul=True)
+        rng = np.random.default_rng(15)
+        rtol = self.LOSS_RTOL[np.dtype(dtype)]
+        for a_shape, b_shape in (((5, 7), (7, 3)),
+                                 ((2, 5, 7), (2, 7, 3)),
+                                 ((2, 5, 7), (7, 3)),
+                                 ((5, 7), (2, 7, 3))):
+            a = rng.standard_normal(a_shape).astype(dtype)
+            b = rng.standard_normal(b_shape).astype(dtype)
+            got = backend.matmul(a, b)
+            want = NumpyBackend().matmul(a, b)
+            assert got.shape == want.shape
+            np.testing.assert_allclose(got, want, rtol=rtol,
+                                       atol=rtol)
 
 
 class TestFusedReductions:

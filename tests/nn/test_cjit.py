@@ -1,0 +1,340 @@
+"""Tests for the compiled C-kernel backend (:mod:`repro.nn.cjit`).
+
+The conformance battery (compiled kernels vs the NumPy kernels) lives in
+``test_backend_dtypes.py`` next to the other backends; this file covers the
+machinery itself — the renderer, compiler detection, the on-disk kernel
+cache (hits skip the compiler, corrupted/stale objects recompile, poisoned
+compiles surface a typed error), the no-compiler fallback, and the
+``python -m repro.nn.backend`` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn.backend as backend_mod
+from repro.artifacts.kernels import (
+    KERNEL_CACHE_ENV,
+    KERNEL_MANIFEST_FILENAME,
+    KernelCache,
+    default_kernel_cache_dir,
+)
+from repro.nn.backend import BACKEND_REGISTRY, NumpyBackend, use_backend
+from repro.nn.cjit import (
+    CJitBackend,
+    KernelCompileError,
+    cjit_available,
+    find_compiler,
+    kernel_cache_key,
+    platform_tag,
+    render_kernel,
+    standard_kernel_specs,
+)
+from repro.nn.cjit import backend as cjit_backend_mod
+from repro.nn.cjit.compiler import compile_source
+from repro.nn.cjit.render import (
+    SUPPORTED_DTYPES,
+    conv_spec,
+    elementwise_spec,
+    reduce_spec,
+    update_spec,
+)
+
+needs_compiler = pytest.mark.skipif(
+    not cjit_available(), reason="no C compiler (cc/clang/gcc) on PATH")
+
+
+class TestRenderer:
+    def test_symbol_encodes_specialization(self):
+        spec = conv_spec("im2col", "float32", 4, 2, 1)
+        assert spec.symbol == "im2col_f32_k4_s2_p1"
+        assert conv_spec("col2im", "float64", 3, 1, 1).symbol \
+            == "col2im_f64_k3_s1_p1"
+
+    def test_source_is_deterministic_and_contains_symbol(self):
+        spec = reduce_spec("bce_logits", "float64")
+        first = render_kernel(spec)
+        assert render_kernel(spec) == first
+        assert spec.symbol in first
+
+    def test_window_constants_are_baked_in(self):
+        source = render_kernel(conv_spec("im2col", "float32", 5, 3, 2))
+        assert "k5" in conv_spec("im2col", "float32", 5, 3, 2).symbol
+        # The geometry appears as literals, not runtime parameters.
+        assert "* 3" in source or "3 *" in source
+
+    def test_unknown_op_rejected(self):
+        from repro.nn.cjit.render import KernelSpec
+        with pytest.raises(ValueError, match="unknown kernel op"):
+            render_kernel(KernelSpec(op="fft", dtype="float32"))
+
+    def test_unsupported_dtype_rejected(self):
+        from repro.nn.cjit.render import KernelSpec
+        with pytest.raises(ValueError, match="dtype"):
+            render_kernel(KernelSpec(op="im2col", dtype="float16"))
+
+    def test_standard_set_covers_both_dtypes(self):
+        specs = standard_kernel_specs()
+        symbols = {spec.symbol for spec in specs}
+        assert len(symbols) == len(specs)
+        for dtype_suffix in ("f32", "f64"):
+            assert any(f"im2col_{dtype_suffix}" in s for s in symbols)
+            assert any(f"adam_update_{dtype_suffix}" in s for s in symbols)
+
+    def test_cache_key_depends_on_every_component(self):
+        base = kernel_cache_key("src", "cc-1", "linux-x86_64")
+        assert kernel_cache_key("src2", "cc-1", "linux-x86_64") != base
+        assert kernel_cache_key("src", "cc-2", "linux-x86_64") != base
+        assert kernel_cache_key("src", "cc-1", "linux-arm64") != base
+
+
+class TestKernelCacheStore:
+    """Manifest + verification semantics, no compiler required."""
+
+    def _fake_object(self, cache, key, payload=b"\x7fELF fake"):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        path = cache.object_path(key)
+        path.write_bytes(payload)
+        return path
+
+    def test_lookup_on_fresh_cache_misses(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        assert cache.lookup("deadbeef", source_sha256="s") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_store_then_lookup_hits(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        path = self._fake_object(cache, "k1")
+        cache.store("k1", path, source_sha256="s", symbol="sym",
+                    compiler="cc-12", platform="linux-x86_64")
+        assert cache.lookup("k1", source_sha256="s") == path
+        assert cache.stats() == {"entries": 1, "bytes": path.stat().st_size,
+                                 "hits": 1, "misses": 0}
+
+    def test_stale_source_hash_evicts(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        path = self._fake_object(cache, "k1")
+        cache.store("k1", path, source_sha256="old", symbol="sym",
+                    compiler="cc", platform="p")
+        assert cache.lookup("k1", source_sha256="new") is None
+        assert not path.exists()
+        assert cache.entries() == {}
+
+    def test_corrupted_object_evicts(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        path = self._fake_object(cache, "k1")
+        cache.store("k1", path, source_sha256="s", symbol="sym",
+                    compiler="cc", platform="p")
+        path.write_bytes(b"flipped bytes")
+        assert cache.lookup("k1", source_sha256="s") is None
+        assert cache.entries() == {}
+
+    def test_missing_object_evicts(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        path = self._fake_object(cache, "k1")
+        cache.store("k1", path, source_sha256="s", symbol="sym",
+                    compiler="cc", platform="p")
+        path.unlink()
+        assert cache.lookup("k1", source_sha256="s") is None
+
+    def test_damaged_manifest_is_an_empty_cache(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        path = self._fake_object(cache, "k1")
+        cache.store("k1", path, source_sha256="s", symbol="sym",
+                    compiler="cc", platform="p")
+        (tmp_path / KERNEL_MANIFEST_FILENAME).write_text("{not json")
+        assert cache.entries() == {}
+        assert cache.lookup("k1", source_sha256="s") is None
+
+    def test_foreign_format_version_is_an_empty_cache(self, tmp_path):
+        cache = KernelCache(tmp_path)
+        (tmp_path).mkdir(exist_ok=True)
+        (tmp_path / KERNEL_MANIFEST_FILENAME).write_text(
+            '{"format_version": 999, "entries": {"k1": {}}}')
+        assert cache.entries() == {}
+
+    def test_default_directory_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(KERNEL_CACHE_ENV, str(tmp_path / "kc"))
+        assert default_kernel_cache_dir() == tmp_path / "kc"
+        monkeypatch.delenv(KERNEL_CACHE_ENV)
+        assert default_kernel_cache_dir().name == ".repro-kernel-cache"
+
+
+@needs_compiler
+class TestCompileAndCache:
+    def test_find_compiler_reports_version_tag(self):
+        info = find_compiler()
+        assert info is not None
+        assert info.tag and " " not in info.tag
+        assert platform_tag().startswith("linux") or platform_tag()
+
+    def test_cache_hit_skips_the_compiler(self, tmp_path, monkeypatch):
+        first = CJitBackend(cache_dir=tmp_path)
+        x = np.linspace(-1, 1, 32, dtype=np.float32)
+        first.leaky_relu(x, 0.2)
+        assert first.compiled == 1
+
+        def exploding_compile(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("cache hit must not invoke the compiler")
+
+        monkeypatch.setattr(cjit_backend_mod, "compile_source",
+                            exploding_compile)
+        second = CJitBackend(cache_dir=tmp_path)
+        got = second.leaky_relu(x, 0.2)
+        np.testing.assert_array_equal(got, NumpyBackend().leaky_relu(x, 0.2))
+        assert second.compiled == 0
+        assert second.cache.hits == 1
+
+    def test_corrupted_object_is_recompiled(self, tmp_path):
+        first = CJitBackend(cache_dir=tmp_path)
+        x = np.linspace(-1, 1, 16, dtype=np.float64)
+        first.leaky_relu(x, 0.1)
+        [key] = first.cache.entries()
+        first.cache.object_path(key).write_bytes(b"not an object")
+        second = CJitBackend(cache_dir=tmp_path)
+        got = second.leaky_relu(x, 0.1)
+        np.testing.assert_array_equal(got, NumpyBackend().leaky_relu(x, 0.1))
+        assert second.compiled == 1  # recompiled, not loaded corrupt
+
+    def test_stale_source_is_recompiled(self, tmp_path):
+        backend = CJitBackend(cache_dir=tmp_path)
+        x = np.ones(8, dtype=np.float32)
+        backend.leaky_relu(x, 0.2)
+        [key] = backend.cache.entries()
+        entries = backend.cache.entries()
+        entries[key]["source_sha256"] = "0" * 64
+        backend.cache._write_entries(entries)
+        second = CJitBackend(cache_dir=tmp_path)
+        second.leaky_relu(x, 0.2)
+        assert second.compiled == 1
+
+    def test_poisoned_compile_raises_typed_error_with_stderr(self, tmp_path,
+                                                             monkeypatch):
+        monkeypatch.setattr(cjit_backend_mod, "render_kernel",
+                            lambda spec: "this is not C;")
+        backend = CJitBackend(cache_dir=tmp_path)
+        with pytest.raises(KernelCompileError) as excinfo:
+            backend.leaky_relu(np.ones(4, dtype=np.float32), 0.2)
+        assert excinfo.value.stderr
+        assert "error" in str(excinfo.value).lower()
+
+    def test_compile_source_attaches_stderr(self, tmp_path):
+        with pytest.raises(KernelCompileError) as excinfo:
+            compile_source("int broken(void) { return }",
+                           tmp_path / "broken.so", find_compiler())
+        assert excinfo.value.stderr
+        assert excinfo.value.source.startswith("int broken")
+
+    def test_warm_compiles_standard_set_once(self, tmp_path):
+        backend = CJitBackend(cache_dir=tmp_path)
+        count = backend.warm(dtypes=("float32",))
+        assert count == len(standard_kernel_specs(("float32",)))
+        assert backend.compiled == count
+        again = CJitBackend(cache_dir=tmp_path)
+        assert again.warm(dtypes=("float32",)) == count
+        assert again.compiled == 0
+
+
+class TestFallback:
+    def test_no_compiler_falls_back_to_numpy(self, tmp_path):
+        backend = CJitBackend(cache_dir=tmp_path)
+        backend.compiler = None  # simulate a host without cc/clang/gcc
+        assert not backend.available()
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = backend.im2col(x, 3, 1, 1)
+        np.testing.assert_array_equal(cols,
+                                      NumpyBackend().im2col(x, 3, 1, 1))
+        assert backend.fallbacks >= 1
+        assert backend.compiled == 0
+
+    def test_no_compiler_warm_raises(self, tmp_path):
+        backend = CJitBackend(cache_dir=tmp_path)
+        backend.compiler = None
+        with pytest.raises(RuntimeError, match="no C compiler"):
+            backend.warm()
+
+    def test_require_compiler_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cjit_backend_mod, "find_compiler", lambda: None)
+        with pytest.raises(RuntimeError, match="requires a C compiler"):
+            CJitBackend(cache_dir=tmp_path, require_compiler=True)
+
+    def test_unsupported_dtype_falls_back_per_op(self, cjit_backend):
+        x = np.arange(12, dtype=np.int64).reshape(1, 3, 2, 2)
+        before = cjit_backend.fallbacks
+        cols = cjit_backend.im2col(x.astype(np.float16), 2, 1, 0)
+        np.testing.assert_array_equal(
+            cols, NumpyBackend().im2col(x.astype(np.float16), 2, 1, 0))
+        assert cjit_backend.fallbacks == before + 1
+
+
+class TestRegistryAndCLI:
+    def test_cjit_is_registered(self):
+        assert "cjit" in BACKEND_REGISTRY
+        assert BACKEND_REGISTRY["cjit"] is CJitBackend
+
+    def test_cli_lists_backends_and_compiler(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv(KERNEL_CACHE_ENV, str(tmp_path))
+        assert backend_mod.main([]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out and "reference" in out and "cjit" in out
+        if cjit_available():
+            assert "cjit compiler:" in out
+        else:
+            assert "none found" in out
+
+    @needs_compiler
+    def test_cli_warm_precompiles_then_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert backend_mod.main(["--warm", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "warmed" in first
+        assert backend_mod.main(["--warm", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "0 compiled" in second
+
+    def test_cli_warm_without_compiler_fails(self, capsys, monkeypatch):
+        import repro.nn.cjit as cjit_pkg
+        monkeypatch.setattr(cjit_pkg, "find_compiler", lambda: None)
+        assert backend_mod.main(["--warm"]) == 1
+        assert "cannot --warm" in capsys.readouterr().out
+
+
+@needs_compiler
+class TestTrainStepParity:
+    def test_tiny_training_run_is_bit_identical_to_numpy(self, cjit_backend):
+        """Two full cVAE-GAN optimisation steps leave identical weights.
+
+        The compiled path only replaces bit-identical kernels (conv
+        lowering, optimizer updates) on the weight path — the loss scalars
+        may differ in the last ulps, but every backward closure uses
+        closed-form gradients, so the parameters must match exactly.
+        """
+        from repro.core import ModelConfig, Trainer, build_model
+        from repro.data import generate_paired_dataset
+        from repro.flash import BlockGeometry, FlashChannel
+
+        simulator = FlashChannel(geometry=BlockGeometry(16, 16),
+                                 rng=np.random.default_rng(5))
+        dataset = generate_paired_dataset(simulator,
+                                          pe_cycles=(4000.0, 10000.0),
+                                          arrays_per_pe=8, array_size=8)
+        weights = {}
+        for name, backend in (("numpy", "numpy"), ("cjit", cjit_backend)):
+            with use_backend(backend):
+                config = ModelConfig.tiny()
+                model = build_model("cvae_gan", config,
+                                    rng=np.random.default_rng(21))
+                trainer = Trainer(model, dataset,
+                                  rng=np.random.default_rng(22))
+                batch = dataset[0:4]
+                for _ in range(2):
+                    trainer.train_step(*batch)
+                weights[name] = {key: value.copy() for key, value
+                                 in model.state_dict().items()}
+        assert weights["numpy"].keys() == weights["cjit"].keys()
+        for key in weights["numpy"]:
+            np.testing.assert_array_equal(weights["cjit"][key],
+                                          weights["numpy"][key], err_msg=key)
