@@ -14,9 +14,16 @@ Two families of measurements live here:
   only enforced when the host has at least ``GATE_MIN_CORES`` cores, so
   undersized runners still record numbers without failing the job.
 
+* the **lazy-graph fusion ladder** (``--lazy``): batched sampling through
+  the warmed cjit backend with lazy realization (fused elementwise
+  chains, folded concatenations, analytic expand columns) against the
+  eager per-op path on the same backend and model, held to the core-gated
+  ``FUSION_SPEEDUP_THRESHOLD``.
+
 Results are merged into ``benchmarks/results/pipeline.json`` (the CI-tracked
 throughput file): the ``train`` key holds the latest run and
-``train_series`` accumulates one entry per run for cross-PR tracking.
+``train_series`` accumulates one entry per run for cross-PR tracking
+(likewise ``cjit``/``cjit_series`` and ``fusion``/``fusion_series``).
 
 ``--smoke`` additionally runs the float32 end-to-end acceptance path: train
 a small cVAE-GAN in float32, serve it through the batched
@@ -79,6 +86,15 @@ CJIT_SPEEDUP_THRESHOLD = 1.3
 CONV_STEP_CHANNELS = 16
 CONV_STEPS_PER_ROUND = 5
 CONV_ROUNDS = 6
+
+#: Lazy-graph fusion ladder: batched sampling through the warmed cjit
+#: backend with lazy realization on vs. the eager per-op path on the same
+#: backend and model.  Sampling is the realizer's first consumer — the
+#: fused elementwise chains, folded concatenations and analytic expand
+#: columns all fire on the generator forward — so this is the honest
+#: measure of what the lazy graph buys end to end.
+FUSION_SPEEDUP_THRESHOLD = 1.25
+FUSION_ROUNDS = 6
 
 #: Thresholds are enforced only on hosts with at least this many cores:
 #: single-core runners are typically oversubscribed CI shares whose timings
@@ -254,6 +270,103 @@ def merge_cjit_results(results: dict):
     return _merge_tracked_results({"cjit": results, "cjit_series": series})
 
 
+def _fusion_sampling_stages(cjit):
+    """Paired lazy / eager batched-sampling stages over one shared model.
+
+    Both stages drive the *same* model and generative channel through the
+    same warmed compiled backend; only the lazy-default policy differs, so
+    the ratio isolates the realizer (fused chains, concat folds, expand
+    columns) from weight-init and cache luck.
+    """
+    from repro.channel import GenerativeChannel
+    from repro.core import ModelConfig, build_model
+    from repro.nn import set_lazy_default, use_backend
+
+    config = replace(ModelConfig.small(TRAIN_ARRAY_SIZE, epochs=1,
+                                       batch_size=16), dtype="float32")
+    model = build_model("cvae_gan", config, rng=np.random.default_rng(1))
+    channel = GenerativeChannel(model, rng=np.random.default_rng(2))
+    blocks = np.random.default_rng(6).integers(
+        0, 8, size=(SAMPLE_BLOCKS, TRAIN_ARRAY_SIZE, TRAIN_ARRAY_SIZE))
+
+    def make_stage(lazy: bool):
+        def stage():
+            previous = set_lazy_default(lazy)
+            try:
+                with use_backend(cjit):
+                    for _ in range(SAMPLE_PASSES_PER_ROUND):
+                        channel.read_repeated(blocks, 7000,
+                                              num_samples=SAMPLE_COUNT)
+            finally:
+                set_lazy_default(previous)
+        return stage
+
+    return make_stage(True), make_stage(False)
+
+
+def run_fusion_benchmark() -> dict | None:
+    """Lazy-graph realization vs eager per-op sampling on warmed cjit.
+
+    Returns ``None`` (after printing why) without a C compiler: the fused
+    chains would fall back to the NumPy lowering and the comparison would
+    measure graph bookkeeping instead of fused kernels.
+    """
+    from repro.nn.backend import build_backend
+    from repro.nn.cjit import cjit_available
+
+    if not cjit_available():
+        print("skipping fusion benchmark: no C compiler (cc/clang/gcc) "
+              "on PATH")
+        return None
+    cjit = build_backend("cjit")
+    warmed = cjit.warm(dtypes=("float32",))
+    lazy_stage, eager_stage = _fusion_sampling_stages(cjit)
+    timings = _interleaved_best(lazy_stage, eager_stage, FUSION_ROUNDS,
+                                labels=("lazy", "eager"))
+    cells = SAMPLE_BLOCKS * SAMPLE_COUNT * TRAIN_ARRAY_SIZE ** 2
+    fusion = cjit.fusion_stats()
+    return {
+        "sampling": {
+            "cells": cells,
+            "lazy_seconds": timings["lazy"] / SAMPLE_PASSES_PER_ROUND,
+            "eager_seconds": timings["eager"] / SAMPLE_PASSES_PER_ROUND,
+            "lazy_voltages_per_second":
+                cells * SAMPLE_PASSES_PER_ROUND / timings["lazy"],
+            "speedup": timings["eager"] / timings["lazy"],
+        },
+        "fusion": fusion,
+        "compiler": cjit.stats()["compiler"],
+        "warmed_kernels": warmed,
+        "compiled": int(cjit.compiled),
+        "fallbacks": int(cjit.fallbacks),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def check_fusion_threshold(results: dict) -> list[str]:
+    """Core-gated lazy-over-eager speedup failure (empty list = pass)."""
+    if results["cpu_count"] < GATE_MIN_CORES:
+        return []
+    speedup = results["sampling"]["speedup"]
+    if speedup < FUSION_SPEEDUP_THRESHOLD:
+        return [f"sampling: lazy realization is {speedup:.2f}x over eager "
+                f"cjit, below the {FUSION_SPEEDUP_THRESHOLD:.2f}x threshold"]
+    return []
+
+
+def merge_fusion_results(results: dict):
+    """Fold a fusion run into the tracked file (``fusion`` +
+    ``fusion_series``)."""
+    series = load_results().get("fusion_series", [])
+    series.append(series_entry(results["cpu_count"], {
+        "lazy_sampling_speedup": results["sampling"]["speedup"],
+        "lazy_voltages_per_second":
+            results["sampling"]["lazy_voltages_per_second"],
+    }))
+    return _merge_tracked_results({"fusion": results,
+                                   "fusion_series": series})
+
+
 def run_training_benchmark() -> dict:
     """The float32-vs-float64 ladder: training step and batched sampling."""
     dataset = _ladder_dataset()
@@ -383,12 +496,35 @@ def main() -> None:
                         help="'numpy' runs the float32-vs-float64 precision "
                              "ladder; 'cjit' runs the warmed compiled-kernel "
                              "vs numpy conv-training-step comparison")
+    parser.add_argument("--lazy", action="store_true",
+                        help="run the lazy-graph fusion ladder: batched "
+                             "sampling with lazy realization vs the eager "
+                             "per-op path on the warmed cjit backend")
     args = parser.parse_args()
 
     if args.smoke:
         smoke = run_float32_smoke()
         print("float32 smoke:", json.dumps(smoke, indent=2))
     if args.skip_ladder:
+        return
+
+    if args.lazy:
+        results = run_fusion_benchmark()
+        if results is None:
+            return  # no compiler: nothing honest to measure or record
+        path = merge_fusion_results(results)
+        print(json.dumps(results, indent=2))
+        print(f"merged into {path}")
+        failures = check_fusion_threshold(results)
+        if failures:
+            raise SystemExit("fusion regression: " + "; ".join(failures))
+        alerts = check_series_regression(load_results().get("fusion_series",
+                                                            []))
+        if results["cpu_count"] < GATE_MIN_CORES:
+            for alert in alerts:
+                print(f"WARNING fusion series regression: {alert}")
+        elif alerts:
+            raise SystemExit("fusion series regression: " + "; ".join(alerts))
         return
 
     if args.backend == "cjit":

@@ -120,6 +120,24 @@ class ArrayBackend:
 
     def __init__(self):
         self.arena = BufferArena()
+        #: Lazy-graph realization counters (see :mod:`repro.nn.lazy` and
+        #: the ``--stats`` CLI): how many nodes this backend realized, how
+        #: many elementwise chains it fused (and their total stage count),
+        #: how many concatenations / constant-map expansions were folded
+        #: into segmented im2col columns, and how many chains (or chain
+        #: tails) fell back to the plain per-op path.
+        self.fusion_counters: dict[str, int] = {
+            "realized_nodes": 0,
+            "fused_chains": 0,
+            "fused_stages": 0,
+            "concat_folds": 0,
+            "expand_folds": 0,
+            "fallbacks": 0,
+        }
+
+    def fusion_stats(self) -> dict[str, int]:
+        """Snapshot of the lazy-graph fusion/realization counters."""
+        return dict(self.fusion_counters)
 
     def scratch_out(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An output buffer for a kernel intermediate that dies with the
@@ -168,6 +186,61 @@ class ArrayBackend:
                 cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
         return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
 
+    def im2col_into(self, x: np.ndarray, cols6: np.ndarray, c_offset: int,
+                    kernel: int, stride: int, padding: int) -> None:
+        """Write ``x``'s im2col columns into a channel slice of ``cols6``.
+
+        ``cols6`` is the un-flattened ``(N, C_total, K, K, H_out, W_out)``
+        column buffer of a concatenated input; ``x`` supplies channels
+        ``[c_offset, c_offset + C_part)``.  The written values are exactly
+        the rows :meth:`im2col` would produce for the materialized
+        concatenation — the lazy realizer uses this to fold channel
+        concatenations into the conv lowering without building them.
+        """
+        channels = x.shape[1]
+        out_h, out_w = cols6.shape[4], cols6.shape[5]
+        if padding > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                           (padding, padding)))
+        view = cols6[:, c_offset:c_offset + channels]
+        for i in range(kernel):
+            i_end = i + stride * out_h
+            for j in range(kernel):
+                j_end = j + stride * out_w
+                view[:, :, i, j, :, :] = x[:, :, i:i_end:stride,
+                                           j:j_end:stride]
+
+    def expand_cols_into(self, values: np.ndarray, cols6: np.ndarray,
+                         c_offset: int, height: int, width: int,
+                         kernel: int, stride: int, padding: int) -> None:
+        """Write a spatially-constant map's im2col columns into ``cols6``.
+
+        ``values`` has shape ``(N, d)``; its implied ``(N, d, height,
+        width)`` constant map is never built — each column element is the
+        per-sample constant where the window position lands in bounds and
+        zero where it falls into the padding, exactly what :meth:`im2col`
+        would gather from the materialized map.  One broadcast write
+        covers every position, then the (few) border rows and columns are
+        zeroed; with ``padding == 0`` every position is in bounds.
+        """
+        out_h, out_w = cols6.shape[4], cols6.shape[5]
+        target = cols6[:, c_offset:c_offset + values.shape[1]]
+        target[...] = values[:, :, None, None, None, None]
+        if padding == 0:
+            return
+        row_positions = stride * np.arange(out_h) - padding
+        col_positions = stride * np.arange(out_w) - padding
+        for i in range(kernel):
+            rows_bad = (row_positions + i < 0) \
+                | (row_positions + i >= height)
+            for j in range(kernel):
+                cols_bad = (col_positions + j < 0) \
+                    | (col_positions + j >= width)
+                if rows_bad.any():
+                    target[:, :, i, j, rows_bad, :] = 0
+                if cols_bad.any():
+                    target[:, :, i, j, :, cols_bad] = 0
+
     def col2im(self, cols: np.ndarray,
                input_shape: tuple[int, int, int, int],
                kernel: int, stride: int, padding: int) -> np.ndarray:
@@ -208,6 +281,84 @@ class ArrayBackend:
 
     def leaky_relu(self, x: np.ndarray, negative_slope: float) -> np.ndarray:
         return np.where(x > 0, x, x * negative_slope)
+
+    # ------------------------------------------------------------------ #
+    # Fused elementwise stage chains (lazy-graph realization)
+    # ------------------------------------------------------------------ #
+    def fused_elementwise(self, x: np.ndarray, stages: list[tuple],
+                          inplace: bool = False) -> np.ndarray:
+        """Apply a recorded elementwise stage chain in one pass over ``x``.
+
+        ``stages`` is the chain the lazy realizer collected — tuples of
+        ``(kind, *operands)`` with kinds from
+        :data:`repro.nn.lazy.STAGE_KINDS`.  The reference lowering applies
+        the stages sequentially with the exact eager expressions (same
+        ufuncs, scalars pre-cast to the array dtype — one rounding per
+        recorded op), reusing ``x`` as the accumulator when ``inplace``
+        says the caller owns it.  Accelerated backends override this with
+        genuinely single-pass implementations; results must stay
+        bit-identical to this sequence.
+        """
+        self.fusion_counters["fused_chains"] += 1
+        self.fusion_counters["fused_stages"] += len(stages)
+        return self._apply_stages(x, stages, inplace)
+
+    def _apply_stages(self, x: np.ndarray, stages: list[tuple],
+                      inplace: bool) -> np.ndarray:
+        buf = x
+        owned = bool(inplace)
+        for item in stages:
+            kind = item[0]
+            if kind in ("bias_add", "affine"):
+                channel_shape = (1, -1) + (1,) * (buf.ndim - 2)
+                vec = item[1].reshape(channel_shape)
+                if kind == "affine":
+                    shift = item[2].reshape(channel_shape)
+                    if owned:
+                        np.multiply(buf, vec, out=buf)
+                    else:
+                        buf = buf * vec
+                        owned = True
+                    np.add(buf, shift, out=buf)
+                elif owned:
+                    np.add(buf, vec, out=buf)
+                else:
+                    buf = buf + vec
+                    owned = True
+            elif kind == "leaky_relu":
+                buf = self.leaky_relu(buf, item[1])
+                owned = True
+            elif kind == "relu":
+                buf = self.relu(buf)
+                owned = True
+            elif kind == "tanh":
+                buf = self.tanh(buf)
+                owned = True
+            elif kind == "sigmoid":
+                buf = self.sigmoid(buf)
+                owned = True
+            elif kind == "neg":
+                if owned:
+                    np.negative(buf, out=buf)
+                else:
+                    buf = -buf
+                    owned = True
+            elif kind in ("mul_scalar", "add_scalar", "div_scalar"):
+                scalar = buf.dtype.type(item[1])
+                ufunc = {"mul_scalar": np.multiply, "add_scalar": np.add,
+                         "div_scalar": np.divide}[kind]
+                if owned:
+                    ufunc(buf, scalar, out=buf)
+                else:
+                    buf = ufunc(buf, scalar)
+                    owned = True
+            elif kind == "cast":
+                # Same-dtype casts are identity at record time already;
+                # ``copy=False`` keeps the repeated-realize path a no-op.
+                buf = buf.astype(item[1], copy=False)
+            else:
+                raise ValueError(f"unknown fused stage kind {kind!r}")
+        return buf
 
     # ------------------------------------------------------------------ #
     # Fused elementwise + reduction kernels (float64 accumulation)
@@ -368,6 +519,51 @@ def use_backend(backend: str | ArrayBackend):
 from repro.nn import cjit as _cjit  # noqa: E402,F401  (registers "cjit")
 
 
+def _report_fusion_stats(canonical, cache_dir) -> None:
+    """``--stats``: realize one probe chain per backend, print counters.
+
+    The probe is the canonical sampling micro-chain (concat of a real map
+    and a constant map → conv → bias → affine → leaky-ReLU), recorded
+    lazily and realized — so a fresh process still reports meaningful
+    fusion counters per backend, mirroring the cjit ``stats()`` pattern.
+    """
+    from repro.nn import functional as F
+    from repro.nn import lazy
+    from repro.nn.cjit import cjit_available
+    from repro.nn.tensor import Tensor, concatenate, no_grad
+
+    def probe(backend_obj):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        weight = Tensor(rng.standard_normal((4, 9, 4, 4))
+                        .astype(np.float32) * 0.1)
+        bias = Tensor(rng.standard_normal(4).astype(np.float32))
+        scale = rng.standard_normal(4).astype(np.float32)
+        shift = rng.standard_normal(4).astype(np.float32)
+        # ``canonical.use_backend``: under ``python -m`` this module also
+        # exists as ``__main__``, whose class objects would fail the
+        # canonical isinstance check.
+        with canonical.use_backend(backend_obj), no_grad(), lazy.lazy_eval():
+            latent_map = Tensor._from_lazy(
+                lazy.expand(rng.standard_normal((2, 6))
+                            .astype(np.float32), 8, 8))
+            stacked = concatenate([x, latent_map], axis=1)
+            out = F.conv2d(stacked, weight, bias, stride=2, padding=1)
+            out = Tensor._from_lazy(
+                lazy.stage(out._lazy, "affine", (scale, shift)))
+            out = out.leaky_relu(0.2)
+            out.numpy()  # realize within the backend scope
+
+    names = ["numpy"] + (["cjit"] if cjit_available() else [])
+    for name in names:
+        kwargs = {"cache_dir": cache_dir} if name == "cjit" else {}
+        backend_obj = canonical.build_backend(name, **kwargs)
+        probe(backend_obj)
+        stats = backend_obj.fusion_stats()
+        print(f"{name} fusion stats: "
+              + ", ".join(f"{key}={value}" for key, value in stats.items()))
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.nn.backend``: registry + compiler report, ``--warm``.
 
@@ -394,6 +590,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="kernel cache directory (default: "
                              "$REPRO_KERNEL_CACHE or ./.repro-kernel-cache)")
+    parser.add_argument("--stats", action="store_true",
+                        help="run a small lazy-graph probe chain on each "
+                             "backend and report its fusion/realization "
+                             "counters (fused chains, kernels compiled, "
+                             "fallbacks)")
     args = parser.parse_args(argv)
 
     registry = canonical.BACKEND_REGISTRY
@@ -402,6 +603,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(registry):
         marker = " (current)" if name == current else ""
         print(f"  {name}: {registry[name].__name__}{marker}")
+
+    if args.stats:
+        _report_fusion_stats(canonical, args.cache_dir)
 
     compiler = find_compiler()
     if compiler is None:

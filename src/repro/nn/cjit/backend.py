@@ -40,10 +40,14 @@ from repro.nn.cjit.compiler import (
     platform_tag,
 )
 from repro.nn.cjit.render import (
+    FUSED_STAGE_CODES,
     SUPPORTED_DTYPES,
     KernelSpec,
     conv_spec,
     elementwise_spec,
+    expand_cols_spec,
+    fused_spec,
+    im2col_seg_spec,
     matmul_spec,
     reduce_spec,
     render_kernel,
@@ -97,8 +101,16 @@ class CJitBackend(NumpyBackend):
         self.c_matmul = bool(c_matmul)
         self._functions: dict[str, object] = {}
         self._libraries: dict[str, ctypes.CDLL] = {}
+        #: Memoized spec->function lookups for the lazy-realizer hot path,
+        #: keyed by the cheap spec parameters so repeated realizations skip
+        #: re-rendering the KernelSpec (None is cached too: a compiler-less
+        #: host should not re-render per call either).
+        self._fast_fns: dict[tuple, object] = {}
         self.compiled = 0
         self.fallbacks = 0
+        #: How many lazy-graph chain signatures were compiled as fused C
+        #: kernels (a subset of ``compiled``; reported by ``--stats``).
+        self.fusion_counters["fused_kernels_compiled"] = 0
 
     # ------------------------------------------------------------------ #
     # Kernel materialisation: render -> cache -> compile -> dlopen
@@ -260,6 +272,119 @@ class CJitBackend(NumpyBackend):
         out = np.empty_like(x)
         fn(_ptr(x), _ptr(out), x.size, float(negative_slope))
         return out
+
+    # ------------------------------------------------------------------ #
+    # Lazy-graph lowerings: fused stage chains + segmented im2col
+    # ------------------------------------------------------------------ #
+    _CHANNEL_STAGE_CODES = ("b", "a")
+
+    def fused_elementwise(self, x: np.ndarray, stages: list[tuple],
+                          inplace: bool = False) -> np.ndarray:
+        """Run a fused stage chain through one generated C kernel.
+
+        The renderable prefix of the chain (see
+        :data:`repro.nn.cjit.render.FUSED_STAGE_CODES`) becomes a single
+        compiled pass keyed by its chain signature; any remainder — tanh /
+        sigmoid / cast, whose NumPy bit patterns libm cannot reproduce —
+        is applied NumPy-side on the kernel's output.  Unsupported dtypes,
+        non-NCHW inputs under per-channel stages, and compiler-less hosts
+        fall back to the inherited sequential lowering (bit-identical
+        either way).
+        """
+        self.fusion_counters["fused_chains"] += 1
+        self.fusion_counters["fused_stages"] += len(stages)
+        codes: list[str] = []
+        operands = [x]
+        for item in stages:
+            code = FUSED_STAGE_CODES.get(item[0])
+            if code is None:
+                break
+            if code in self._CHANNEL_STAGE_CODES:
+                operands.extend(item[1:])
+            codes.append(code)
+        channel = any(code in self._CHANNEL_STAGE_CODES for code in codes)
+        dtype = self._dtype_name(*operands)
+        fn = None
+        if codes and dtype is not None and not (channel and x.ndim != 4):
+            key = ("fused", dtype, *codes)
+            try:
+                fn = self._fast_fns[key]
+            except KeyError:
+                compiled_before = self.compiled
+                fn = self._kernel(fused_spec(tuple(codes), dtype))
+                self.fusion_counters["fused_kernels_compiled"] += \
+                    self.compiled - compiled_before
+                self._fast_fns[key] = fn
+        if fn is None:
+            if codes:
+                self.fusion_counters["fallbacks"] += 1
+            return self._apply_stages(x, stages, inplace)
+        buf = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
+        # The kernel may write its input in place only when the realizer
+        # owns the buffer (or the contiguity copy just made one).
+        out = buf if (inplace or buf is not x) else np.empty_like(buf)
+        args: list = [_ptr(buf), _ptr(out), buf.size]
+        args += [x.shape[1], x.shape[2] * x.shape[3]] if channel else [1, 1]
+        keepalive = []
+        for item, code in zip(stages, codes):
+            if code in self._CHANNEL_STAGE_CODES:
+                for vec in item[1:]:
+                    vec = np.ascontiguousarray(vec)
+                    keepalive.append(vec)
+                    args.append(_ptr(vec))
+            elif code in ("l", "m", "p", "d"):
+                args.append(float(item[1]))
+        fn(*args)
+        del keepalive
+        remainder = stages[len(codes):]
+        if remainder:
+            return self._apply_stages(out, remainder, inplace=True)
+        return out
+
+    def im2col_into(self, x: np.ndarray, cols6: np.ndarray, c_offset: int,
+                    kernel: int, stride: int, padding: int) -> None:
+        dtype = self._dtype_name(x, cols6)
+        fn = None
+        if dtype and cols6.flags["C_CONTIGUOUS"]:
+            key = ("im2col_seg", dtype, kernel, stride, padding)
+            try:
+                fn = self._fast_fns[key]
+            except KeyError:
+                fn = self._kernel(im2col_seg_spec(dtype, kernel, stride,
+                                                  padding))
+                self._fast_fns[key] = fn
+        if fn is None:
+            self.fallbacks += 1
+            return super().im2col_into(x, cols6, c_offset, kernel, stride,
+                                       padding)
+        batch, channels, height, width = x.shape
+        out_h, out_w = cols6.shape[4], cols6.shape[5]
+        x = np.ascontiguousarray(x)
+        fn(_ptr(x), _ptr(cols6), batch, channels, height, width,
+           out_h, out_w, cols6.shape[1], int(c_offset))
+
+    def expand_cols_into(self, values: np.ndarray, cols6: np.ndarray,
+                         c_offset: int, height: int, width: int,
+                         kernel: int, stride: int, padding: int) -> None:
+        dtype = self._dtype_name(values, cols6)
+        fn = None
+        if dtype and cols6.flags["C_CONTIGUOUS"]:
+            key = ("expand_cols", dtype, kernel, stride, padding)
+            try:
+                fn = self._fast_fns[key]
+            except KeyError:
+                fn = self._kernel(expand_cols_spec(dtype, kernel, stride,
+                                                   padding))
+                self._fast_fns[key] = fn
+        if fn is None:
+            self.fallbacks += 1
+            return super().expand_cols_into(values, cols6, c_offset, height,
+                                            width, kernel, stride, padding)
+        batch, channels = values.shape
+        out_h, out_w = cols6.shape[4], cols6.shape[5]
+        values = np.ascontiguousarray(values)
+        fn(_ptr(values), _ptr(cols6), batch, channels, height, width,
+           out_h, out_w, cols6.shape[1], int(c_offset))
 
     # ------------------------------------------------------------------ #
     # Fused elementwise + reduction kernels (float64 accumulation)

@@ -34,7 +34,8 @@ import ctypes
 from dataclasses import dataclass, field
 
 __all__ = ["KernelSpec", "render_kernel", "conv_spec", "reduce_spec",
-           "update_spec", "elementwise_spec", "matmul_spec",
+           "update_spec", "elementwise_spec", "matmul_spec", "fused_spec",
+           "im2col_seg_spec", "expand_cols_spec", "FUSED_STAGE_CODES",
            "standard_kernel_specs", "SUPPORTED_DTYPES"]
 
 #: Dtypes the renderer can specialize for (everything else falls back).
@@ -143,6 +144,82 @@ def elementwise_spec(op: str, dtype: str) -> KernelSpec:
     return KernelSpec(op=op, dtype=dtype, argtypes=(ptr, ptr, _I64, _F64))
 
 
+#: Lazy-graph stage kinds renderable inside one fused elementwise kernel,
+#: keyed to the single-letter codes that form the chain signature.  Stages
+#: whose NumPy semantics a libm call cannot reproduce bit-for-bit (tanh,
+#: sigmoid, cast) are deliberately absent — the lazy realizer splits the
+#: chain and applies them NumPy-side.
+FUSED_STAGE_CODES = {
+    "bias_add": "b",
+    "affine": "a",
+    "leaky_relu": "l",
+    "relu": "r",
+    "neg": "n",
+    "mul_scalar": "m",
+    "add_scalar": "p",
+    "div_scalar": "d",
+}
+
+#: Codes whose operand is a per-channel vector (needs the channel index).
+_CHANNEL_CODES = frozenset("ba")
+#: ctypes operand tail appended per stage code, in chain order.
+_FUSED_OPERANDS = {"b": 1, "a": 2, "l": 0, "r": 0, "n": 0,
+                   "m": 0, "p": 0, "d": 0}
+#: Codes that take one runtime double (slope / scalar operand).
+_SCALAR_CODES = frozenset("lmpd")
+
+
+def fused_spec(codes: tuple[str, ...], dtype: str) -> KernelSpec:
+    """Fused elementwise-chain spec; ``codes`` is the chain signature.
+
+    The exported symbol is keyed by the chain (``fused_b_a_l_f32``), so the
+    on-disk kernel cache naturally deduplicates chains across call sites.
+    Runtime arguments: input / output pointers (which may alias for the
+    in-place path), total element count, channel count and inner spatial
+    extent (for per-channel operands), then one operand group per stage in
+    chain order.
+    """
+    ptr = _ptr(dtype)
+    argtypes: list = [ptr, ptr, _I64, _I64, _I64]
+    for code in codes:
+        if code not in _FUSED_OPERANDS:
+            raise ValueError(f"unknown fused stage code {code!r}")
+        argtypes.extend([ptr] * _FUSED_OPERANDS[code])
+        if code in _SCALAR_CODES:
+            argtypes.append(_F64)
+    return KernelSpec(op="fused_" + "_".join(codes), dtype=dtype,
+                      argtypes=tuple(argtypes))
+
+
+def expand_cols_spec(dtype: str, kernel: int, stride: int,
+                     padding: int) -> KernelSpec:
+    """Columns of a spatially-constant ``(N, d)`` map, written straight
+    into a channel slice of shared convolution columns (no map built)."""
+    ptr = _ptr(dtype)
+    return KernelSpec(
+        op="expand_cols", dtype=dtype,
+        params=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+        argtypes=(ptr, ptr, _I64, _I64, _I64, _I64, _I64, _I64, _I64, _I64),
+    )
+
+
+def im2col_seg_spec(dtype: str, kernel: int, stride: int,
+                    padding: int) -> KernelSpec:
+    """Segmented ``im2col``: gather into a channel slice of shared columns.
+
+    Same window geometry specialization as ``im2col``, plus two runtime
+    arguments — the total channel stride of the shared ``(n, C_total, K,
+    K, oh, ow)`` buffer and this part's channel offset within it — so a
+    concatenation's columns can be written without materializing it.
+    """
+    ptr = _ptr(dtype)
+    return KernelSpec(
+        op="im2col_seg", dtype=dtype,
+        params=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+        argtypes=(ptr, ptr, _I64, _I64, _I64, _I64, _I64, _I64, _I64, _I64),
+    )
+
+
 def matmul_spec(dtype: str) -> KernelSpec:
     """Batched BLAS-free tiled matmul spec (runtime dims + batch strides)."""
     ptr = _ptr(dtype)
@@ -194,6 +271,173 @@ void {spec.symbol}(const {T}* restrict x, {T}* restrict cols,
             }}
         }}
     }}
+}}
+"""
+
+
+def _render_im2col_seg(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    params = dict(spec.params)
+    K, S, P = params["kernel"], params["stride"], params["padding"]
+    return f"""\
+/* Segmented im2col: gather an NCHW part into its channel slice of a
+   shared (n, c_stride, {K}, {K}, oh, ow) column buffer at channel offset
+   c_offset.  Same gather (and bits) as the plain im2col kernel; only the
+   output placement differs, so a concatenation's columns assemble
+   part-by-part without materializing the concatenation itself. */
+void {spec.symbol}(const {T}* restrict x, {T}* restrict cols,
+                   i64 n, i64 c, i64 h, i64 w, i64 oh, i64 ow,
+                   i64 c_stride, i64 c_offset) {{
+    for (i64 b = 0; b < n; ++b)
+    for (i64 ch = 0; ch < c; ++ch) {{
+        const {T}* plane = x + (b * c + ch) * h * w;
+        {T}* out = cols
+            + ((b * c_stride + c_offset + ch) * {K * K}) * oh * ow;
+        for (i64 i = 0; i < {K}; ++i)
+        for (i64 j = 0; j < {K}; ++j) {{
+            /* 0 <= j + S*ox - P < w  <=>  lo <= ox < hi */
+            i64 lo = {P} - j + {S} - 1;
+            lo = lo > 0 ? lo / {S} : 0;
+            if (lo > ow) lo = ow;
+            i64 hi = (w + {P} - j + {S} - 1) / {S};
+            if (hi > ow) hi = ow;
+            if (hi < lo) hi = lo;
+            for (i64 oy = 0; oy < oh; ++oy) {{
+                const i64 iy = i + {S} * oy - {P};
+                if (iy < 0 || iy >= h) {{
+                    for (i64 ox = 0; ox < ow; ++ox) out[ox] = ({T})0;
+                    out += ow;
+                    continue;
+                }}
+                const {T}* row = plane + iy * w;
+                for (i64 ox = 0; ox < lo; ++ox) out[ox] = ({T})0;
+                for (i64 ox = lo; ox < hi; ++ox)
+                    out[ox] = row[{S} * ox + j - {P}];
+                for (i64 ox = hi; ox < ow; ++ox) out[ox] = ({T})0;
+                out += ow;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _render_expand_cols(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    params = dict(spec.params)
+    K, S, P = params["kernel"], params["stride"], params["padding"]
+    return f"""\
+/* Columns of a spatially-constant (n, d) map: the per-sample constant
+   where the window position is in bounds, zero in the padding — written
+   into channel slice [c_offset, c_offset + d) of a shared
+   (n, c_stride, {K}, {K}, oh, ow) column buffer.  Identical placement to
+   im2col_seg over the materialized (n, d, h, w) map, without the map. */
+void {spec.symbol}(const {T}* restrict values, {T}* restrict cols,
+                   i64 n, i64 d, i64 h, i64 w, i64 oh, i64 ow,
+                   i64 c_stride, i64 c_offset) {{
+    for (i64 b = 0; b < n; ++b)
+    for (i64 ch = 0; ch < d; ++ch) {{
+        const {T} v = values[b * d + ch];
+        {T}* out = cols
+            + ((b * c_stride + c_offset + ch) * {K * K}) * oh * ow;
+        for (i64 i = 0; i < {K}; ++i)
+        for (i64 j = 0; j < {K}; ++j) {{
+            /* 0 <= j + S*ox - P < w  <=>  lo <= ox < hi */
+            i64 lo = {P} - j + {S} - 1;
+            lo = lo > 0 ? lo / {S} : 0;
+            if (lo > ow) lo = ow;
+            i64 hi = (w + {P} - j + {S} - 1) / {S};
+            if (hi > ow) hi = ow;
+            if (hi < lo) hi = lo;
+            for (i64 oy = 0; oy < oh; ++oy) {{
+                const i64 iy = i + {S} * oy - {P};
+                if (iy < 0 || iy >= h) {{
+                    for (i64 ox = 0; ox < ow; ++ox) out[ox] = ({T})0;
+                    out += ow;
+                    continue;
+                }}
+                for (i64 ox = 0; ox < lo; ++ox) out[ox] = ({T})0;
+                for (i64 ox = lo; ox < hi; ++ox) out[ox] = v;
+                for (i64 ox = hi; ox < ow; ++ox) out[ox] = ({T})0;
+                out += ow;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _fused_codes(spec: KernelSpec) -> list[str]:
+    return spec.op.split("_")[1:]
+
+
+def _render_fused(spec: KernelSpec) -> str:
+    """One elementwise pass applying a whole fused stage chain.
+
+    Every stage replays its NumPy counterpart exactly: one rounding per
+    recorded op, scalars pre-cast to the element dtype, the affine stage
+    multiplying then adding (two roundings, like the eager BatchNorm
+    expression), and relu/leaky-relu propagating NaN the way
+    ``np.maximum`` / ``np.where`` do.  ``x`` and ``out`` may alias (the
+    in-place realization path), which is safe because every stage maps
+    index ``i`` to index ``i`` — hence no ``restrict`` here.
+    """
+    T = _CTYPE[spec.dtype]
+    codes = _fused_codes(spec)
+    args, setup, body = [], [], []
+    channel = any(code in _CHANNEL_CODES for code in codes)
+    for k, code in enumerate(codes):
+        if code == "b":
+            args.append(f"const {T}* b{k}")
+            body.append(f"v = v + b{k}[ch];")
+        elif code == "a":
+            args.append(f"const {T}* sc{k}")
+            args.append(f"const {T}* sh{k}")
+            body.append(f"v = v * sc{k}[ch];")
+            body.append(f"v = v + sh{k}[ch];")
+        elif code == "l":
+            args.append(f"double s{k}")
+            setup.append(f"const {T} s{k}_t = ({T})s{k};")
+            body.append(f"v = v > ({T})0 ? v : v * s{k}_t;")
+        elif code == "r":
+            # NaN keeps itself (np.maximum semantics); -0 maps to +0.
+            body.append(f"v = (v > ({T})0 || v != v) ? v : ({T})0;")
+        elif code == "n":
+            body.append("v = -v;")
+        elif code in ("m", "p", "d"):
+            args.append(f"double s{k}")
+            setup.append(f"const {T} s{k}_t = ({T})s{k};")
+            operator = {"m": "*", "p": "+", "d": "/"}[code]
+            body.append(f"v = v {operator} s{k}_t;")
+        else:  # pragma: no cover - fused_spec already validated
+            raise ValueError(f"unknown fused stage code {code!r}")
+    arg_text = "".join(f",\n                   {arg}" for arg in args)
+    setup_text = "".join(f"    {line}\n" for line in setup)
+    if channel:
+        stage_text = "".join(f"            {line}\n" for line in body)
+        loop = f"""\
+    const i64 outer = n / (c * inner);
+    for (i64 o = 0; o < outer; ++o)
+    for (i64 ch = 0; ch < c; ++ch) {{
+        const i64 base = (o * c + ch) * inner;
+        for (i64 k = 0; k < inner; ++k) {{
+            {T} v = x[base + k];
+{stage_text}            out[base + k] = v;
+        }}
+    }}"""
+    else:
+        stage_text = "".join(f"        {line}\n" for line in body)
+        loop = f"""\
+    (void)c; (void)inner;
+    for (i64 i = 0; i < n; ++i) {{
+        {T} v = x[i];
+{stage_text}        out[i] = v;
+    }}"""
+    return f"""\
+/* Fused elementwise chain [{' -> '.join(codes)}]: one pass, one rounding
+   per stage, bit-identical to the sequential NumPy stages. */
+void {spec.symbol}(const {T}* x, {T}* out, i64 n, i64 c, i64 inner{arg_text}) {{
+{setup_text}{loop}
 }}
 """
 
@@ -421,6 +665,8 @@ void {spec.symbol}(const {T}* a, const {T}* bmat, {T}* out,
 
 _RENDERERS = {
     "im2col": _render_im2col,
+    "im2col_seg": _render_im2col_seg,
+    "expand_cols": _render_expand_cols,
     "col2im": _render_col2im,
     "sum_squares": _render_sum_squares,
     "abs_sum": _render_abs_sum,
@@ -438,6 +684,8 @@ def render_kernel(spec: KernelSpec) -> str:
     if spec.dtype not in SUPPORTED_DTYPES:
         raise ValueError(f"cannot render dtype {spec.dtype!r}; supported: "
                          f"{SUPPORTED_DTYPES}")
+    if spec.op.startswith("fused_"):
+        return _PRELUDE + "\n" + _render_fused(spec)
     try:
         body = _RENDERERS[spec.op]
     except KeyError:
@@ -451,6 +699,12 @@ def render_kernel(spec: KernelSpec) -> str:
 #: encoder's 3x3/s1/p1 stem) — the standard warm set.
 STANDARD_CONV_GEOMETRIES = ((4, 2, 1), (4, 1, 1), (3, 1, 1))
 
+#: Fused chain signatures the paper's generator blocks record under lazy
+#: sampling: conv-bias → BatchNorm eval affine → activation (down blocks
+#: leaky-ReLU, up blocks ReLU), plus the bias-only tail of the output
+#: block (whose tanh realizes NumPy-side).
+STANDARD_FUSED_CHAINS = (("b", "a", "l"), ("b", "a", "r"), ("b",))
+
 
 def standard_kernel_specs(dtypes=SUPPORTED_DTYPES) -> list[KernelSpec]:
     """The kernel set ``--warm`` pre-compiles into the cache."""
@@ -458,11 +712,15 @@ def standard_kernel_specs(dtypes=SUPPORTED_DTYPES) -> list[KernelSpec]:
     for dtype in dtypes:
         for kernel, stride, padding in STANDARD_CONV_GEOMETRIES:
             specs.append(conv_spec("im2col", dtype, kernel, stride, padding))
+            specs.append(im2col_seg_spec(dtype, kernel, stride, padding))
+            specs.append(expand_cols_spec(dtype, kernel, stride, padding))
             specs.append(conv_spec("col2im", dtype, kernel, stride, padding))
         for op in ("sum_squares", "abs_sum", "bce_logits", "gaussian_kl"):
             specs.append(reduce_spec(op, dtype))
         specs.append(update_spec("sgd_update", dtype))
         specs.append(update_spec("adam_update", dtype))
         specs.append(elementwise_spec("leaky_relu", dtype))
+        for chain in STANDARD_FUSED_CHAINS:
+            specs.append(fused_spec(chain, dtype))
         specs.append(matmul_spec(dtype))
     return specs

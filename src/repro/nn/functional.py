@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import lazy as _lazy
 from repro.nn.backend import get_backend
 from repro.nn.tensor import Tensor, is_grad_enabled
 
@@ -89,6 +90,11 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     backend = get_backend()
     needs_graph = _needs_graph(x, weight, bias)
+    if not needs_graph and _lazy.is_lazy_enabled():
+        node = _lazy.conv2d(x._lazy_node(), weight.data, stride, padding)
+        if bias is not None:
+            node = _lazy.stage(node, "bias_add", (bias.data,))
+        return Tensor._from_lazy(node, "conv2d")
     # The column matrix is the largest allocation of the forward pass; on
     # graph-free paths it comes from the arena (the backward closure below
     # captures it, so it must be fresh whenever gradients are recorded).
@@ -150,6 +156,12 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     backend = get_backend()
     needs_graph = _needs_graph(x, weight, bias)
+    if not needs_graph and _lazy.is_lazy_enabled():
+        node = _lazy.conv_transpose2d(x._lazy_node(), weight.data, stride,
+                                      padding)
+        if bias is not None:
+            node = _lazy.stage(node, "bias_add", (bias.data,))
+        return Tensor._from_lazy(node, "conv_transpose2d")
     # The transposed convolution is the adjoint of a convolution that maps the
     # output grid back to the input grid; the forward pass therefore uses
     # col2im and the backward pass uses im2col.

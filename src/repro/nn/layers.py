@@ -398,6 +398,8 @@ class BatchNorm2d(Module):
         scale = self.weight.data / np.sqrt(self._buffers["running_var"]
                                            + self.eps)
         shift = self.bias.data - self._buffers["running_mean"] * scale
+        if x._lazy_recording():
+            return x._lazy_stage("affine", (scale, shift), "batchnorm_eval")
         data = x.data * scale.reshape(1, -1, 1, 1) \
             + shift.reshape(1, -1, 1, 1)
         return x._make_child(data, (x,), "batchnorm_eval")

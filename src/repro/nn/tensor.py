@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.nn import lazy as _lazy
 from repro.nn.backend import get_backend
 from repro.nn.dtypes import get_default_dtype
 
@@ -63,6 +64,14 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _scalar_or_none(value) -> float | None:
+    """``value`` as a Python float when it is a plain scalar, else None."""
+    if isinstance(value, (int, float)) or (np.isscalar(value)
+                                           and isinstance(value, np.number)):
+        return float(value)
+    return None
+
+
 def _as_array(value, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got a Tensor")
@@ -95,15 +104,66 @@ class Tensor:
         Optional explicit dtype for the wrapped array.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("_data", "_lazy", "grad", "requires_grad", "_backward",
+                 "_parents", "_op")
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
-        self.data: np.ndarray = _as_array(data, dtype=dtype)
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._op: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Lazy-graph plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """The wrapped array; reading it realizes a pending lazy graph.
+
+        This is the universal fallback barrier of :mod:`repro.nn.lazy`:
+        any operation the lazy recorder does not understand reads
+        ``.data``, which materializes the recorded graph (with fusion) and
+        continues eagerly.
+        """
+        if self._lazy is not None:
+            self._data = _lazy.realize(self._lazy)
+            self._lazy = None
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._lazy = None
+
+    @staticmethod
+    def _from_lazy(node, op: str = "") -> "Tensor":
+        """Wrap a recorded :class:`~repro.nn.lazy.LazyOp` (graph-free)."""
+        tensor = Tensor.__new__(Tensor)
+        tensor._data = None
+        tensor._lazy = node
+        tensor.requires_grad = False
+        tensor.grad = None
+        tensor._backward = None
+        tensor._parents = ()
+        tensor._op = op or node.op
+        return tensor
+
+    def _lazy_node(self):
+        """This tensor as a lazy node (a ``const`` leaf when eager)."""
+        return self._lazy if self._lazy is not None \
+            else _lazy.const(self._data)
+
+    def _lazy_recording(self) -> bool:
+        """Whether elementwise ops on this tensor extend a lazy chain."""
+        return (self._lazy is not None and not _GRAD_ENABLED
+                and _lazy.is_lazy_enabled())
+
+    def _lazy_stage(self, kind: str, params: tuple = (),
+                    op: str = "") -> "Tensor":
+        return Tensor._from_lazy(_lazy.stage(self._lazy, kind, params),
+                                 op or kind)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -155,21 +215,33 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    # Shape/dtype questions are answered from lazy-node metadata without
+    # realizing: model code branching on activation shapes (the U-Net's
+    # per-block spatial sizes) must not force materialization.
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        if self._lazy is not None:
+            return self._lazy.shape
+        return self._data.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self.shape)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        if self._lazy is not None:
+            size = 1
+            for extent in self._lazy.shape:
+                size *= extent
+            return size
+        return self._data.size
 
     @property
     def dtype(self):
-        return self.data.dtype
+        if self._lazy is not None:
+            return self._lazy.dtype
+        return self._data.dtype
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (detached view)."""
@@ -183,10 +255,16 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def astype(self, dtype) -> "Tensor":
-        """Differentiable dtype cast (gradients are cast back on backward)."""
+        """Differentiable dtype cast (gradients are cast back on backward).
+
+        A same-dtype cast is the identity — no copy, no graph node — on
+        both the eager and the lazy path.
+        """
         dtype = np.dtype(dtype)
-        if dtype == self.data.dtype:
+        if dtype == self.dtype:
             return self
+        if self._lazy_recording():
+            return self._lazy_stage("cast", (dtype,), "astype")
         out = self._make_child(self.data.astype(dtype), (self,), "astype")
         if out.requires_grad:
             def _backward():
@@ -295,6 +373,10 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
+        if self._lazy_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._lazy_stage("add_scalar", (scalar,), "add")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data + other.data, (self, other), "add")
 
@@ -310,6 +392,8 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if self._lazy_recording():
+            return self._lazy_stage("neg")
         out = self._make_child(-self.data, (self,), "neg")
         if out.requires_grad:
             def _backward():
@@ -318,12 +402,22 @@ class Tensor:
         return out
 
     def __sub__(self, other) -> "Tensor":
+        if self._lazy_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                # Matches the eager x + (-s): dtype rounding is symmetric
+                # under negation, so casting -s equals negating cast s.
+                return self._lazy_stage("add_scalar", (-scalar,), "sub")
         return self + (-Tensor._coerce(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
         return Tensor._coerce(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
+        if self._lazy_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._lazy_stage("mul_scalar", (scalar,), "mul")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data * other.data, (self, other), "mul")
         if out.requires_grad:
@@ -338,6 +432,10 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
+        if self._lazy_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._lazy_stage("div_scalar", (scalar,), "div")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data / other.data, (self, other), "div")
         if out.requires_grad:
@@ -387,6 +485,8 @@ class Tensor:
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
+        if self._lazy_recording():
+            return self._lazy_stage("tanh")
         value = get_backend().tanh(self.data)
         out = self._make_child(value, (self,), "tanh")
         if out.requires_grad:
@@ -396,6 +496,8 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
+        if self._lazy_recording():
+            return self._lazy_stage("sigmoid")
         value = get_backend().sigmoid(self.data)
         out = self._make_child(value, (self,), "sigmoid")
         if out.requires_grad:
@@ -415,6 +517,8 @@ class Tensor:
         return _GRAD_ENABLED and self.requires_grad
 
     def relu(self) -> "Tensor":
+        if self._lazy_recording():
+            return self._lazy_stage("relu")
         if not self._needs_graph():
             return self._make_child(get_backend().relu(self.data), (self,),
                                     "relu")
@@ -427,6 +531,8 @@ class Tensor:
         return out
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        if self._lazy_recording():
+            return self._lazy_stage("leaky_relu", (float(negative_slope),))
         if not self._needs_graph():
             return self._make_child(
                 get_backend().leaky_relu(self.data, negative_slope),
@@ -600,6 +706,10 @@ class Tensor:
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor.ensure(t) for t in tensors]
+    if (_lazy.is_lazy_enabled() and not _GRAD_ENABLED
+            and any(t._lazy is not None for t in tensors)):
+        node = _lazy.concat([t._lazy_node() for t in tensors], axis)
+        return Tensor._from_lazy(node, "concat")
     data = np.concatenate([t.data for t in tensors], axis=axis)
     template = tensors[0]
     out = template._make_child(data, tensors, "concat")

@@ -441,3 +441,72 @@ class TestFusedReductions:
             b = Tensor(np.ones((3, 2)))
             (a @ b).sum()
         assert calls
+
+
+class TestAstypeIdentity:
+    """Same-dtype casts are the identity on every path (no copy, no node)."""
+
+    def test_same_dtype_cast_returns_self(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert t.astype(np.float32) is t
+        assert t.astype("float32") is t
+
+    def test_same_dtype_cast_shares_memory(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float64))
+        assert np.shares_memory(t.astype(np.float64).data, t.data)
+
+    def test_cross_dtype_cast_still_copies(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = t.astype(np.float64)
+        assert out is not t
+        assert out.data.dtype == np.float64
+        assert not np.shares_memory(out.data, t.data)
+
+
+class TestFusedLoweringConformance:
+    """The lazy realizer's backend lowerings vs the reference kernels.
+
+    ``fused_elementwise`` and the segmented column writers are exactly the
+    calls the lazy graph lowers through, so every accelerated backend must
+    reproduce the reference backend's bits for them.
+    """
+
+    @pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_fused_elementwise_matches_reference(self, dtype, backend_name,
+                                                 cjit_backend):
+        rng = np.random.default_rng(21)
+        x = rng.standard_normal((2, 4, 6, 6)).astype(dtype)
+        bias = rng.standard_normal(4).astype(dtype)
+        scale = rng.standard_normal(4).astype(dtype)
+        shift = rng.standard_normal(4).astype(dtype)
+        stages = [("bias_add", bias), ("affine", scale, shift),
+                  ("leaky_relu", 0.2), ("neg",), ("add_scalar", 0.25),
+                  ("div_scalar", 3.0), ("relu",), ("tanh",),
+                  ("cast", np.float64)]
+        under_test = cjit_backend if backend_name == "cjit" \
+            else build_backend(backend_name)
+        want = build_backend("reference").fused_elementwise(x.copy(), stages)
+        got = under_test.fused_elementwise(x.copy(), stages)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == np.float64  # the trailing cast propagates
+
+    @pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_segmented_cols_match_reference(self, dtype, backend_name,
+                                            cjit_backend):
+        rng = np.random.default_rng(22)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(dtype)
+        values = rng.standard_normal((2, 2)).astype(dtype)
+        under_test = cjit_backend if backend_name == "cjit" \
+            else build_backend(backend_name)
+        reference = build_backend("reference")
+        results = {}
+        for backend in (under_test, reference):
+            cols6 = np.zeros((2, 5, 4, 4, 4, 4), dtype=dtype)
+            backend.im2col_into(x, cols6, 0, kernel=4, stride=2, padding=1)
+            backend.expand_cols_into(values, cols6, 3, height=8, width=8,
+                                     kernel=4, stride=2, padding=1)
+            results[backend.name] = cols6
+        np.testing.assert_array_equal(results[under_test.name],
+                                      results[reference.name])

@@ -1,0 +1,288 @@
+"""Tests for the lazy evaluation graph + fused-kernel realization.
+
+The lazy layer's contract is bit-identity: recording operations as
+:class:`repro.nn.lazy.LazyOp` nodes and realizing them through fused
+backend lowerings (fused elementwise chains, folded concatenations,
+analytic expand columns) must reproduce the eager pipeline's output
+exactly — same bits, same dtype — on every backend.  These tests pin
+that contract end to end (batched sampling on all four architectures)
+and per lowering, plus the recording semantics: lazy nodes only appear
+inside :func:`~repro.nn.lazy.lazy_eval` with gradients disabled, shape
+metadata never forces realization, and any op the recorder does not
+understand falls back through ``Tensor.data``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.channel import GenerativeChannel
+from repro.core import ModelConfig, build_model
+from repro.nn import (
+    Tensor,
+    lazy_default,
+    no_grad,
+    set_lazy_default,
+    use_backend,
+)
+from repro.nn import functional as F
+from repro.nn import lazy
+from repro.nn.backend import NumpyBackend, build_backend
+from repro.nn.cjit import cjit_available
+from repro.nn.tensor import concatenate
+
+needs_compiler = pytest.mark.skipif(
+    not cjit_available(), reason="no C compiler (cc/clang/gcc) on PATH")
+
+ARCHITECTURES = ["cvae_gan", "cgan", "cvae", "bicycle_gan"]
+
+
+def _sample_voltages(model, lazy_on: bool, backend=None) -> np.ndarray:
+    """One deterministic batched-sampling pass with the given policy."""
+    import contextlib
+
+    previous = set_lazy_default(lazy_on)
+    try:
+        ctx = use_backend(backend) if backend is not None \
+            else contextlib.nullcontext()
+        with ctx:
+            channel = GenerativeChannel(model, rng=np.random.default_rng(3))
+            blocks = np.random.default_rng(6).integers(0, 8, (4, 16, 16))
+            return channel.read_repeated(blocks, 123, num_samples=2)
+    finally:
+        set_lazy_default(previous)
+
+
+class TestRecordingSemantics:
+    def test_records_only_inside_scope_with_grad_disabled(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 2, 4, 4)).astype(np.float32))
+        # Outside lazy_eval: eager even under no_grad.
+        with no_grad():
+            assert F.conv2d(x, w, stride=2, padding=1)._lazy is None
+        # Inside lazy_eval but with gradients enabled: eager (autograd owns
+        # the graph).
+        with lazy.lazy_eval():
+            xg = Tensor(x.numpy(), requires_grad=True)
+            assert F.conv2d(xg, w, stride=2, padding=1)._lazy is None
+            # Both conditions met: the conv records a node.
+            with no_grad():
+                out = F.conv2d(x, w, stride=2, padding=1)
+                assert out._lazy is not None
+
+    def test_shape_metadata_does_not_realize(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 3, 4, 4)).astype(np.float32))
+        with no_grad(), lazy.lazy_eval():
+            out = F.conv2d(x, w, stride=2, padding=1).leaky_relu(0.2)
+            assert out.shape == (2, 4, 4, 4)
+            assert out.ndim == 4
+            assert out.size == 2 * 4 * 4 * 4
+            assert out.dtype == np.float32
+            assert out._lazy is not None and out._lazy.value is None
+            # Reading .data is the realization barrier.
+            value = out.data
+            assert out._lazy is None
+            assert value.shape == (2, 4, 4, 4)
+
+    def test_unknown_op_falls_back_through_data(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 3, 4, 4)).astype(np.float32))
+        with no_grad():
+            want = F.conv2d(x, w, stride=2, padding=1).sum().item()
+            with lazy.lazy_eval():
+                got = F.conv2d(x, w, stride=2, padding=1).sum().item()
+        assert got == want
+
+    def test_lazy_default_override_and_env(self, monkeypatch):
+        previous = set_lazy_default(False)
+        try:
+            assert lazy_default() is False
+            set_lazy_default(True)
+            assert lazy_default() is True
+            set_lazy_default(None)
+            monkeypatch.setenv("REPRO_NN_LAZY", "0")
+            assert lazy_default() is False
+            monkeypatch.setenv("REPRO_NN_LAZY", "1")
+            assert lazy_default() is True
+            monkeypatch.delenv("REPRO_NN_LAZY")
+            assert lazy_default() is True  # lazy is the default policy
+        finally:
+            set_lazy_default(previous)
+
+
+class TestSamplingBitIdentity:
+    """Realized lazy sampling must equal eager sampling bit for bit."""
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_numpy_backend(self, arch, dtype):
+        config = replace(ModelConfig.small(16), dtype=dtype)
+        model = build_model(arch, config, rng=np.random.default_rng(5))
+        eager = _sample_voltages(model, lazy_on=False)
+        realized = _sample_voltages(model, lazy_on=True)
+        np.testing.assert_array_equal(realized, eager)
+
+    @needs_compiler
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_cjit_backend(self, dtype, cjit_backend):
+        config = replace(ModelConfig.small(16), dtype=dtype)
+        model = build_model("cvae_gan", config,
+                            rng=np.random.default_rng(5))
+        eager = _sample_voltages(model, lazy_on=False)
+        realized = _sample_voltages(model, lazy_on=True,
+                                    backend=cjit_backend)
+        np.testing.assert_array_equal(realized, eager)
+        assert cjit_backend.fusion_counters["fused_chains"] > 0
+
+    def test_sample_lazy_flag_overrides_default(self):
+        config = replace(ModelConfig.small(16), dtype="float32")
+        model = build_model("cvae_gan", config,
+                            rng=np.random.default_rng(5))
+        programs = np.random.default_rng(8).uniform(
+            -1, 1, size=(2, 1, 16, 16)).astype(np.float32)
+        pe = np.full(2, 0.7)
+        previous = set_lazy_default(False)
+        try:
+            eager = model.sample(programs, pe, np.random.default_rng(9),
+                                 lazy=False)
+            forced = model.sample(programs, pe, np.random.default_rng(9),
+                                  lazy=True)
+        finally:
+            set_lazy_default(previous)
+        np.testing.assert_array_equal(forced, eager)
+
+
+class TestRealizerLowerings:
+    """Each fused lowering against its eager equivalent, per backend."""
+
+    def _backends(self, cjit_backend):
+        backends = [NumpyBackend(), build_backend("reference")]
+        if cjit_available():
+            backends.append(cjit_backend)
+        return backends
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_fused_elementwise_matches_eager_sequence(self, dtype,
+                                                      cjit_backend):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((2, 4, 5, 5)).astype(dtype)
+        bias = rng.standard_normal(4).astype(dtype)
+        scale = rng.standard_normal(4).astype(dtype)
+        shift = rng.standard_normal(4).astype(dtype)
+        stages = [("bias_add", bias), ("affine", scale, shift),
+                  ("leaky_relu", 0.2), ("mul_scalar", 0.5)]
+        want = x + bias[:, None, None]
+        want = want * scale[:, None, None] + shift[:, None, None]
+        want = np.where(want > 0, want, want * dtype(0.2))
+        want = want * dtype(0.5)
+        for backend in self._backends(cjit_backend):
+            got = backend.fused_elementwise(x.copy(), stages, inplace=False)
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == dtype
+
+    def test_fused_elementwise_splits_unfusable_chain(self, cjit_backend):
+        """tanh mid-chain: compiled prefix + NumPy remainder, same bits."""
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        bias = rng.standard_normal(3).astype(np.float32)
+        stages = [("bias_add", bias), ("tanh",), ("bias_add", bias)]
+        want = NumpyBackend().fused_elementwise(x.copy(), stages)
+        np.testing.assert_array_equal(
+            np.tanh(x + bias[:, None, None]) + bias[:, None, None], want)
+        if cjit_available():
+            got = cjit_backend.fused_elementwise(x.copy(), stages)
+            np.testing.assert_array_equal(got, want)
+
+    def test_fused_elementwise_inplace_semantics(self):
+        backend = NumpyBackend()
+        x = np.ones((2, 2), dtype=np.float32)
+        out = backend.fused_elementwise(x, [("mul_scalar", 2.0)],
+                                        inplace=True)
+        assert out is x and x[0, 0] == 2.0
+        y = np.ones((2, 2), dtype=np.float32)
+        out = backend.fused_elementwise(y, [("mul_scalar", 2.0)],
+                                        inplace=False)
+        assert out is not y and y[0, 0] == 1.0
+
+    @pytest.mark.parametrize("geometry", [(4, 2, 1), (3, 1, 1)])
+    def test_segmented_cols_match_materialized_concat(self, geometry,
+                                                      cjit_backend):
+        """im2col_into + expand_cols_into == im2col of the real concat."""
+        kernel, stride, padding = geometry
+        rng = np.random.default_rng(13)
+        height = width = 8
+        x = rng.standard_normal((2, 3, height, width)).astype(np.float32)
+        values = rng.standard_normal((2, 5)).astype(np.float32)
+        expanded = np.broadcast_to(values[:, :, None, None],
+                                   (2, 5, height, width))
+        stacked = np.concatenate([x, expanded], axis=1)
+        out_h = (height + 2 * padding - kernel) // stride + 1
+        for backend in self._backends(cjit_backend):
+            want = backend.im2col(stacked, kernel, stride, padding)
+            cols6 = np.empty((2, 8, kernel, kernel, out_h, out_h),
+                             dtype=np.float32)
+            backend.im2col_into(x, cols6, 0, kernel, stride, padding)
+            backend.expand_cols_into(values, cols6, 3, height, width,
+                                     kernel, stride, padding)
+            got = cols6.reshape(2, 8 * kernel * kernel, out_h * out_h)
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_cast_stage_propagates_dtype(self, dtype):
+        other = np.float64 if dtype == np.float32 else np.float32
+        rng = np.random.default_rng(14)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(dtype))
+        w = Tensor(rng.standard_normal((2, 2, 4, 4)).astype(dtype))
+        with no_grad():
+            want = F.conv2d(x, w, stride=2, padding=1).astype(other)
+            with lazy.lazy_eval():
+                out = F.conv2d(x, w, stride=2, padding=1).astype(other)
+                assert out.dtype == other  # metadata, before realizing
+        np.testing.assert_array_equal(out.numpy(), want.numpy())
+        assert out.numpy().dtype == other
+
+
+class TestFusionCounters:
+    def test_lazy_sampling_populates_counters(self):
+        backend = NumpyBackend()
+        config = replace(ModelConfig.small(16), dtype="float32")
+        model = build_model("cvae_gan", config,
+                            rng=np.random.default_rng(5))
+        _sample_voltages(model, lazy_on=True, backend=backend)
+        stats = backend.fusion_stats()
+        assert stats["realized_nodes"] > 0
+        assert stats["fused_chains"] > 0
+        assert stats["fused_stages"] >= stats["fused_chains"]
+        assert stats["concat_folds"] > 0
+        assert stats["expand_folds"] > 0
+        assert stats["fallbacks"] == 0
+
+    def test_fusion_stats_returns_a_copy(self):
+        backend = NumpyBackend()
+        stats = backend.fusion_stats()
+        stats["fused_chains"] = 999
+        assert backend.fusion_stats()["fused_chains"] != 999
+
+
+class TestStatsCLI:
+    def test_cli_stats_reports_per_backend_counters(self, capsys, tmp_path,
+                                                    monkeypatch):
+        from repro.artifacts.kernels import KERNEL_CACHE_ENV
+        from repro.nn import backend as backend_mod
+
+        monkeypatch.setenv(KERNEL_CACHE_ENV, str(tmp_path))
+        assert backend_mod.main(["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy fusion stats:" in out
+        assert "fused_chains=1" in out
+        assert "concat_folds=1" in out
+        if cjit_available():
+            assert "cjit fusion stats:" in out
+            assert "fused_kernels_compiled=" in out
