@@ -96,6 +96,20 @@ CONV_ROUNDS = 6
 FUSION_SPEEDUP_THRESHOLD = 1.25
 FUSION_ROUNDS = 6
 
+#: Training-tape fusion ladder (``--train-fusion``): a conv-bias →
+#: train-mode BatchNorm → leaky-ReLU training step (forward fusion, fused
+#: backward kernels, arena-recycled scratch, Adam) on the warmed cjit
+#: backend under the tape vs the same step on the eager numpy path —
+#: weights are bit-identical either way (test-enforced), so the ratio is
+#: pure realization machinery.
+TRAIN_FUSION_SPEEDUP_THRESHOLD = 1.25
+TRAIN_FUSION_ROUNDS = 8
+#: Channel width of the tape ladder's conv block: wide enough that the
+#: compiled column lowering (whose advantage grows with C*K*K) dominates
+#: the shared BLAS/batch-stat work, below the width where BLAS packing
+#: swallows the ratio again.
+TRAIN_FUSION_CHANNELS = 24
+
 #: Thresholds are enforced only on hosts with at least this many cores:
 #: single-core runners are typically oversubscribed CI shares whose timings
 #: are too noisy to gate on (the numbers are still recorded and tracked).
@@ -367,6 +381,129 @@ def merge_fusion_results(results: dict):
                                    "fusion_series": series})
 
 
+def _tape_train_steps(backend, lazy_on: bool):
+    """A zero-argument 'fused training step' stage for the tape ladder.
+
+    One pix2pix-style block under gradients: conv-bias (tape stage) →
+    train-mode BatchNorm normalize+affine → leaky-ReLU, squared-activation
+    loss, fused backward kernels and an Adam update over every parameter —
+    the exact mix the training tape fuses.
+    """
+    from repro.nn import Tensor
+    from repro.nn import functional as F
+    from repro.nn.backend import use_backend
+    from repro.nn.layers import BatchNorm2d
+    from repro.nn.lazy import lazy_eval
+    from repro.nn.optim import Adam
+
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal(
+        (TRAIN_BATCH, TRAIN_FUSION_CHANNELS,
+         TRAIN_ARRAY_SIZE, TRAIN_ARRAY_SIZE)).astype(np.float32),
+        requires_grad=True)
+    w = Tensor((rng.standard_normal(
+        (TRAIN_FUSION_CHANNELS, TRAIN_FUSION_CHANNELS, 4, 4)) * 0.02)
+        .astype(np.float32), requires_grad=True)
+    b = Tensor(np.zeros(TRAIN_FUSION_CHANNELS, dtype=np.float32),
+               requires_grad=True)
+    norm = BatchNorm2d(TRAIN_FUSION_CHANNELS).to(np.float32)
+    params = [w, b, norm.weight, norm.bias]
+    optimizer = Adam(params, lr=1e-3)
+
+    def stage():
+        with use_backend(backend), lazy_eval(lazy_on):
+            for _ in range(CONV_STEPS_PER_ROUND):
+                out = F.conv2d(x, w, b, stride=2, padding=1)
+                out = norm(out).leaky_relu(0.2)
+                loss = (out * out).mean()
+                x.zero_grad()
+                for param in params:
+                    param.zero_grad()
+                loss.backward()
+                optimizer.step()
+    return stage
+
+
+def run_train_fusion_benchmark() -> dict | None:
+    """Tape-mode training on warmed cjit vs the eager numpy training step.
+
+    Returns ``None`` (after printing why) without a C compiler — the fused
+    forward/backward chains would fall back to the NumPy lowering and the
+    ratio would measure tape bookkeeping instead of fused kernels.  Also
+    reports the arena's peak scratch bytes over the measured steps (the
+    saved-for-backward realization plan's working set).
+    """
+    from repro.nn.backend import build_backend
+    from repro.nn.cjit import cjit_available
+
+    if not cjit_available():
+        print("skipping train-fusion benchmark: no C compiler "
+              "(cc/clang/gcc) on PATH")
+        return None
+    cjit = build_backend("cjit")
+    warmed = cjit.warm(dtypes=("float32",))
+    cjit.arena.reset_peak()
+    timings = _interleaved_best(_tape_train_steps(cjit, lazy_on=True),
+                                _tape_train_steps(build_backend("numpy"),
+                                                  lazy_on=False),
+                                TRAIN_FUSION_ROUNDS,
+                                labels=("tape_cjit", "eager_numpy"))
+    fusion = cjit.fusion_stats()
+    return {
+        "train_step": {
+            "array_size": TRAIN_ARRAY_SIZE,
+            "batch_size": TRAIN_BATCH,
+            "channels": TRAIN_FUSION_CHANNELS,
+            "tape_cjit_seconds":
+                timings["tape_cjit"] / CONV_STEPS_PER_ROUND,
+            "eager_numpy_seconds":
+                timings["eager_numpy"] / CONV_STEPS_PER_ROUND,
+            "speedup": timings["eager_numpy"] / timings["tape_cjit"],
+        },
+        "arena_peak_bytes": int(cjit.arena.stats()["peak_bytes"]),
+        "train_counters": {
+            "train_fwd_chains": fusion["train_fwd_chains"],
+            "train_fwd_stages": fusion["train_fwd_stages"],
+            "train_bwd_kernels": fusion["train_bwd_kernels"],
+            "fallbacks": fusion["fallbacks"],
+        },
+        "compiler": cjit.stats()["compiler"],
+        "warmed_kernels": warmed,
+        "compiled": int(cjit.compiled),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def check_train_fusion_threshold(results: dict) -> list[str]:
+    """Core-gated tape-over-eager speedup failure (empty list = pass)."""
+    if results["cpu_count"] < GATE_MIN_CORES:
+        return []
+    speedup = results["train_step"]["speedup"]
+    if speedup < TRAIN_FUSION_SPEEDUP_THRESHOLD:
+        return [f"train_step: taped cjit training is {speedup:.2f}x over "
+                f"eager numpy, below the "
+                f"{TRAIN_FUSION_SPEEDUP_THRESHOLD:.2f}x threshold"]
+    return []
+
+
+def merge_train_fusion_results(results: dict):
+    """Fold a tape-training run into the tracked file (``train_fusion`` +
+    ``train_fusion_series``).
+
+    The series keeps only higher-is-better metrics (speedup, step rate);
+    the arena peak lives in the ``train_fusion`` result dict where a size
+    change is visible without alerting the regression checker.
+    """
+    series = load_results().get("train_fusion_series", [])
+    series.append(series_entry(results["cpu_count"], {
+        "train_fusion_speedup": results["train_step"]["speedup"],
+        "train_fusion_steps_per_second":
+            1.0 / results["train_step"]["tape_cjit_seconds"],
+    }))
+    return _merge_tracked_results({"train_fusion": results,
+                                   "train_fusion_series": series})
+
+
 def run_training_benchmark() -> dict:
     """The float32-vs-float64 ladder: training step and batched sampling."""
     dataset = _ladder_dataset()
@@ -500,12 +637,38 @@ def main() -> None:
                         help="run the lazy-graph fusion ladder: batched "
                              "sampling with lazy realization vs the eager "
                              "per-op path on the warmed cjit backend")
+    parser.add_argument("--train-fusion", action="store_true",
+                        help="run the training-tape fusion ladder: a fused "
+                             "conv/BatchNorm/leaky-ReLU training step on "
+                             "the warmed cjit backend under the tape vs "
+                             "the eager numpy step")
     args = parser.parse_args()
 
     if args.smoke:
         smoke = run_float32_smoke()
         print("float32 smoke:", json.dumps(smoke, indent=2))
     if args.skip_ladder:
+        return
+
+    if args.train_fusion:
+        results = run_train_fusion_benchmark()
+        if results is None:
+            return  # no compiler: nothing honest to measure or record
+        path = merge_train_fusion_results(results)
+        print(json.dumps(results, indent=2))
+        print(f"merged into {path}")
+        failures = check_train_fusion_threshold(results)
+        if failures:
+            raise SystemExit("train-fusion regression: "
+                             + "; ".join(failures))
+        alerts = check_series_regression(
+            load_results().get("train_fusion_series", []))
+        if results["cpu_count"] < GATE_MIN_CORES:
+            for alert in alerts:
+                print(f"WARNING train-fusion series regression: {alert}")
+        elif alerts:
+            raise SystemExit("train-fusion series regression: "
+                             + "; ".join(alerts))
         return
 
     if args.lazy:

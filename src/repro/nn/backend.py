@@ -74,6 +74,8 @@ class BufferArena:
             pool = self._local.pool = {}
             self._local.hits = 0
             self._local.misses = 0
+            self._local.total_bytes = 0
+            self._local.peak_bytes = 0
         return pool
 
     def scratch(self, shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -84,8 +86,12 @@ class BufferArena:
         if buffer is None:
             if len(pool) >= self.max_buffers:
                 pool.clear()  # simple pressure valve; shapes are few in practice
+                self._local.total_bytes = 0
             buffer = pool[key] = np.empty(key[0], dtype=key[1])
             self._local.misses += 1
+            self._local.total_bytes += buffer.nbytes
+            if self._local.total_bytes > self._local.peak_bytes:
+                self._local.peak_bytes = self._local.total_bytes
         else:
             self._local.hits += 1
         return buffer
@@ -95,12 +101,24 @@ class BufferArena:
         return {
             "buffers": len(pool),
             "bytes": int(sum(b.nbytes for b in pool.values())),
+            "peak_bytes": int(self._local.peak_bytes),
             "hits": int(self._local.hits),
             "misses": int(self._local.misses),
         }
 
+    def reset_peak(self) -> None:
+        """Restart the peak-bytes high-water mark from the live pool size.
+
+        Benchmarks call this between phases so the reported peak covers
+        exactly the measured region (the pool itself persists — recycling
+        forward scratch across training steps is the point of the arena).
+        """
+        self._pool()
+        self._local.peak_bytes = self._local.total_bytes
+
     def clear(self) -> None:
         self._pool().clear()
+        self._local.total_bytes = 0
 
 
 def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -133,6 +151,12 @@ class ArrayBackend:
             "concat_folds": 0,
             "expand_folds": 0,
             "fallbacks": 0,
+            # Training-path (autograd tape) counters: stage chains recorded
+            # with gradients enabled, and the fused backward kernels
+            # (``fused_elementwise_bwd`` / ``bn_bwd_dx``) that lower them.
+            "train_fwd_chains": 0,
+            "train_fwd_stages": 0,
+            "train_bwd_kernels": 0,
         }
 
     def fusion_stats(self) -> dict[str, int]:
@@ -361,6 +385,123 @@ class ArrayBackend:
         return buf
 
     # ------------------------------------------------------------------ #
+    # Fused backward kernels (training-path tape realization)
+    # ------------------------------------------------------------------ #
+    def fused_elementwise_bwd(self, grad: np.ndarray, stages: list[tuple],
+                              output: np.ndarray,
+                              inplace: bool = False) -> np.ndarray:
+        """Reverse-mode pass through a run of multiplier-only stages.
+
+        ``stages`` is a (forward-ordered) run of recorded stages whose
+        input gradient is a pure elementwise multiplier of the output
+        gradient — activations whose mask is recoverable from the chain
+        output ``output`` (``leaky_relu``, ``relu``) and scalar arithmetic
+        (``mul_scalar`` / ``div_scalar`` / ``neg`` / ``add_scalar``).  The
+        reference lowering applies the multipliers in reverse stage order
+        with the exact eager gradient expressions; accelerated backends
+        collapse them into one compiled pass and must stay bit-identical.
+        ``inplace`` lets a caller that owns ``grad`` reuse it as the
+        accumulator.
+        """
+        self.fusion_counters["train_bwd_kernels"] += 1
+        buf = grad
+        owned = bool(inplace)
+        for item in reversed(stages):
+            kind = item[0]
+            if kind == "leaky_relu":
+                scale = np.where(output > 0, output.dtype.type(1.0),
+                                 output.dtype.type(item[1]))
+                if owned:
+                    np.multiply(buf, scale, out=buf)
+                else:
+                    buf = buf * scale
+                    owned = True
+            elif kind == "relu":
+                mask = output > 0
+                if owned:
+                    np.multiply(buf, mask, out=buf)
+                else:
+                    buf = buf * mask
+                    owned = True
+            elif kind == "tanh":
+                # Same expression (and rounding) as the eager backward:
+                # ``grad * (1.0 - value ** 2)``.
+                scale = 1.0 - output ** 2
+                if owned:
+                    np.multiply(buf, scale, out=buf)
+                else:
+                    buf = buf * scale
+                    owned = True
+            elif kind == "sigmoid":
+                # Eager evaluates ``grad * value * (1.0 - value)`` left to
+                # right; the association is preserved exactly.
+                if owned:
+                    np.multiply(buf, output, out=buf)
+                else:
+                    buf = buf * output
+                    owned = True
+                np.multiply(buf, 1.0 - output, out=buf)
+            elif kind == "neg":
+                if owned:
+                    np.negative(buf, out=buf)
+                else:
+                    buf = -buf
+                    owned = True
+            elif kind in ("mul_scalar", "div_scalar"):
+                scalar = buf.dtype.type(item[1])
+                ufunc = np.multiply if kind == "mul_scalar" else np.divide
+                if owned:
+                    ufunc(buf, scalar, out=buf)
+                else:
+                    buf = ufunc(buf, scalar)
+                    owned = True
+            elif kind == "add_scalar":
+                pass  # d(x + s)/dx == 1: the gradient passes through
+            else:
+                raise ValueError(
+                    f"stage kind {kind!r} has no multiplier backward")
+        return buf
+
+    def bn_bwd_reductions(self, grad: np.ndarray, x: np.ndarray,
+                          mean: np.ndarray,
+                          invstd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel ``Σg`` and ``Σg·x̂`` of a train-mode BatchNorm.
+
+        The normalized input ``x̂`` is rebuilt into one arena scratch
+        buffer (backward never saved it — the realization plan).  The
+        sums stay NumPy pairwise reductions on *every* backend: compiled
+        ports must not override them, or the numpy-vs-cjit bit-identity
+        contract on weight gradients breaks (C sequential sums round
+        differently).
+        """
+        channel_shape = (1, -1, 1, 1)
+        buf = self.scratch_out(x.shape, x.dtype)
+        np.subtract(x, mean.reshape(channel_shape), out=buf)
+        np.multiply(buf, invstd.reshape(channel_shape), out=buf)
+        np.multiply(buf, grad, out=buf)
+        sum_g = grad.sum(axis=(0, 2, 3))
+        sum_gx = buf.sum(axis=(0, 2, 3))
+        return sum_g, sum_gx
+
+    def bn_bwd_dx(self, grad: np.ndarray, x: np.ndarray, s1: np.ndarray,
+                  s2: np.ndarray, s3: np.ndarray) -> np.ndarray:
+        """Train-mode BatchNorm input gradient ``g·s1 + x·s2 + s3``.
+
+        ``s1``/``s2``/``s3`` are the per-channel coefficients of the
+        closed-form backward (see :class:`~repro.nn.layers.BatchNorm2d`);
+        the element order is fixed — two multiplies, then two adds — so a
+        compiled override stays bit-identical.
+        """
+        self.fusion_counters["train_bwd_kernels"] += 1
+        channel_shape = (1, -1, 1, 1)
+        out = grad * s1.reshape(channel_shape)
+        term = self.scratch_out(x.shape, x.dtype)
+        np.multiply(x, s2.reshape(channel_shape), out=term)
+        np.add(out, term, out=out)
+        np.add(out, s3.reshape(channel_shape), out=out)
+        return out
+
+    # ------------------------------------------------------------------ #
     # Fused elementwise + reduction kernels (float64 accumulation)
     # ------------------------------------------------------------------ #
     def sum_squares(self, array: np.ndarray) -> float:
@@ -554,6 +695,23 @@ def _report_fusion_stats(canonical, cache_dir) -> None:
             out = out.leaky_relu(0.2)
             out.numpy()  # realize within the backend scope
 
+    def train_probe(backend_obj):
+        """A grad-enabled micro train step: conv-bias → BN train → leaky."""
+        from repro.nn.layers import BatchNorm2d
+
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        weight = Tensor(rng.standard_normal((4, 3, 3, 3))
+                        .astype(np.float32) * 0.1, requires_grad=True)
+        bias = Tensor(rng.standard_normal(4).astype(np.float32),
+                      requires_grad=True)
+        norm = BatchNorm2d(4).to(np.float32)
+        with canonical.use_backend(backend_obj), lazy.lazy_eval():
+            out = F.conv2d(x, weight, bias, stride=1, padding=1)
+            out = norm(out)
+            out = out.leaky_relu(0.2)
+            (out * out).mean().backward()
+
     names = ["numpy"] + (["cjit"] if cjit_available() else [])
     for name in names:
         kwargs = {"cache_dir": cache_dir} if name == "cjit" else {}
@@ -562,6 +720,19 @@ def _report_fusion_stats(canonical, cache_dir) -> None:
         stats = backend_obj.fusion_stats()
         print(f"{name} fusion stats: "
               + ", ".join(f"{key}={value}" for key, value in stats.items()))
+    # Training-path counters come from *fresh* instances so the sampling
+    # probe's counts above stay untouched (CI greps assert both lines).
+    for name in names:
+        kwargs = {"cache_dir": cache_dir} if name == "cjit" else {}
+        backend_obj = canonical.build_backend(name, **kwargs)
+        train_probe(backend_obj)
+        stats = backend_obj.fusion_stats()
+        keys = ("train_fwd_chains", "train_fwd_stages", "train_bwd_kernels",
+                "fallbacks")
+        arena_peak = backend_obj.arena.stats()["peak_bytes"]
+        print(f"{name} train fusion stats: "
+              + ", ".join(f"{key}={stats[key]}" for key in keys)
+              + f", arena_peak_bytes={arena_peak}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -40,12 +40,15 @@ from repro.nn.cjit.compiler import (
     platform_tag,
 )
 from repro.nn.cjit.render import (
+    FUSED_BWD_STAGE_CODES,
     FUSED_STAGE_CODES,
     SUPPORTED_DTYPES,
     KernelSpec,
+    bn_bwd_dx_spec,
     conv_spec,
     elementwise_spec,
     expand_cols_spec,
+    fused_bwd_spec,
     fused_spec,
     im2col_seg_spec,
     matmul_spec,
@@ -291,6 +294,10 @@ class CJitBackend(NumpyBackend):
         fall back to the inherited sequential lowering (bit-identical
         either way).
         """
+        if not isinstance(x, np.ndarray) or x.ndim == 0:
+            # Scalar chain bases (0-d loss arithmetic) have no compiled
+            # path; the sequential lowering is the bit-exact reference.
+            return super().fused_elementwise(x, stages, inplace=inplace)
         self.fusion_counters["fused_chains"] += 1
         self.fusion_counters["fused_stages"] += len(stages)
         codes: list[str] = []
@@ -339,6 +346,92 @@ class CJitBackend(NumpyBackend):
         remainder = stages[len(codes):]
         if remainder:
             return self._apply_stages(out, remainder, inplace=True)
+        return out
+
+    _BWD_OUTPUT_KINDS = ("leaky_relu", "relu", "tanh", "sigmoid")
+
+    def fused_elementwise_bwd(self, grad: np.ndarray, stages: list[tuple],
+                              output: np.ndarray,
+                              inplace: bool = False) -> np.ndarray:
+        """Collapse a run of backward multipliers into one compiled pass.
+
+        The stage run is all-or-nothing: any kind outside
+        :data:`repro.nn.cjit.render.FUSED_BWD_STAGE_CODES` (or a dtype the
+        renderer cannot specialize) sends the whole run through the
+        inherited sequential NumPy lowering — bit-identical either way.
+        The compiled symbol is keyed by the reversed (application-order)
+        chain signature, memoized like the forward fused kernels.
+        """
+        codes: list[str] = []
+        for item in reversed(stages):
+            code = FUSED_BWD_STAGE_CODES.get(item[0])
+            if code is None:
+                codes = []
+                break
+            codes.append(code)
+        needs_output = any(item[0] in self._BWD_OUTPUT_KINDS
+                           for item in stages)
+        operands = [grad] + ([output] if needs_output else [])
+        dtype = self._dtype_name(*operands) \
+            if all(isinstance(op, np.ndarray) for op in operands) else None
+        fn = None
+        if codes and dtype is not None and grad.ndim > 0 \
+                and (not needs_output or output.shape == grad.shape):
+            key = ("fused_bwd", dtype, *codes)
+            try:
+                fn = self._fast_fns[key]
+            except KeyError:
+                compiled_before = self.compiled
+                fn = self._kernel(fused_bwd_spec(tuple(codes), dtype))
+                self.fusion_counters["fused_kernels_compiled"] += \
+                    self.compiled - compiled_before
+                self._fast_fns[key] = fn
+        if fn is None:
+            if codes:
+                self.fusion_counters["fallbacks"] += 1
+            return super().fused_elementwise_bwd(grad, stages, output,
+                                                 inplace=inplace)
+        self.fusion_counters["train_bwd_kernels"] += 1
+        buf = grad if grad.flags["C_CONTIGUOUS"] \
+            else np.ascontiguousarray(grad)
+        out = buf if (inplace or buf is not grad) else np.empty_like(buf)
+        args: list = [_ptr(buf)]
+        if needs_output:
+            y = output if output.flags["C_CONTIGUOUS"] \
+                else np.ascontiguousarray(output)
+        else:
+            y = buf  # dummy; the rendered kernel never reads it
+        args += [_ptr(y), _ptr(out), buf.size]
+        for item in reversed(stages):
+            if FUSED_BWD_STAGE_CODES[item[0]] in ("l", "m", "d"):
+                args.append(float(item[1]))
+        fn(*args)
+        return out
+
+    def bn_bwd_dx(self, grad: np.ndarray, x: np.ndarray, s1: np.ndarray,
+                  s2: np.ndarray, s3: np.ndarray) -> np.ndarray:
+        """Compiled train-mode BatchNorm input gradient (one pass)."""
+        dtype = self._dtype_name(grad, x, s1, s2, s3)
+        fn = None
+        if dtype is not None and grad.ndim == 4:
+            key = ("bn_bwd_dx", dtype)
+            try:
+                fn = self._fast_fns[key]
+            except KeyError:
+                fn = self._kernel(bn_bwd_dx_spec(dtype))
+                self._fast_fns[key] = fn
+        if fn is None:
+            self.fallbacks += 1
+            return super().bn_bwd_dx(grad, x, s1, s2, s3)
+        self.fusion_counters["train_bwd_kernels"] += 1
+        g = np.ascontiguousarray(grad)
+        xc = np.ascontiguousarray(x)
+        s1c = np.ascontiguousarray(s1)
+        s2c = np.ascontiguousarray(s2)
+        s3c = np.ascontiguousarray(s3)
+        out = np.empty_like(g)
+        fn(_ptr(g), _ptr(xc), _ptr(out), g.size, g.shape[1],
+           g.shape[2] * g.shape[3], _ptr(s1c), _ptr(s2c), _ptr(s3c))
         return out
 
     def im2col_into(self, x: np.ndarray, cols6: np.ndarray, c_offset: int,

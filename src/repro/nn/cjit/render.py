@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 
 __all__ = ["KernelSpec", "render_kernel", "conv_spec", "reduce_spec",
            "update_spec", "elementwise_spec", "matmul_spec", "fused_spec",
-           "im2col_seg_spec", "expand_cols_spec", "FUSED_STAGE_CODES",
+           "fused_bwd_spec", "bn_bwd_dx_spec", "im2col_seg_spec",
+           "expand_cols_spec", "FUSED_STAGE_CODES", "FUSED_BWD_STAGE_CODES",
            "standard_kernel_specs", "SUPPORTED_DTYPES"]
 
 #: Dtypes the renderer can specialize for (everything else falls back).
@@ -189,6 +190,57 @@ def fused_spec(codes: tuple[str, ...], dtype: str) -> KernelSpec:
             argtypes.append(_F64)
     return KernelSpec(op="fused_" + "_".join(codes), dtype=dtype,
                       argtypes=tuple(argtypes))
+
+
+#: Tape stage kinds whose *backward* multiplier is renderable inside one
+#: fused backward kernel.  Unlike the forward table, tanh and sigmoid are
+#: present: their backward multipliers (``1 - y**2`` and ``y * (1 - y)``)
+#: are pure multiply/subtract over the saved chain output — no libm call
+#: — so ``-ffp-contract=off`` makes them bit-identical to NumPy.
+FUSED_BWD_STAGE_CODES = {
+    "leaky_relu": "l",
+    "relu": "r",
+    "tanh": "t",
+    "sigmoid": "s",
+    "neg": "n",
+    "mul_scalar": "m",
+    "add_scalar": "p",
+    "div_scalar": "d",
+}
+
+#: Backward codes that take one runtime double (slope / scalar operand).
+_BWD_SCALAR_CODES = frozenset("lmd")
+#: Backward codes whose multiplier reads the saved chain output.
+_BWD_OUTPUT_CODES = frozenset("lrts")
+
+
+def fused_bwd_spec(codes: tuple[str, ...], dtype: str) -> KernelSpec:
+    """Fused backward-multiplier spec; ``codes`` is the *reverse-order*
+    (application-order) signature of the recorded stage run.
+
+    Runtime arguments: incoming gradient, saved chain output (ignored by
+    runs without output-reading stages — the caller passes the gradient
+    pointer as a dummy), output gradient (may alias the incoming gradient
+    for the owned/in-place path), element count, then one runtime double
+    per scalar-carrying stage in application order.
+    """
+    ptr = _ptr(dtype)
+    argtypes: list = [ptr, ptr, ptr, _I64]
+    for code in codes:
+        if code not in FUSED_BWD_STAGE_CODES.values():
+            raise ValueError(f"unknown fused backward stage code {code!r}")
+        if code in _BWD_SCALAR_CODES:
+            argtypes.append(_F64)
+    return KernelSpec(op="fusedbwd_" + "_".join(codes), dtype=dtype,
+                      argtypes=tuple(argtypes))
+
+
+def bn_bwd_dx_spec(dtype: str) -> KernelSpec:
+    """Train-mode BatchNorm input-gradient spec (``g*s1 + x*s2 + s3``)."""
+    ptr = _ptr(dtype)
+    return KernelSpec(op="bn_bwd_dx", dtype=dtype,
+                      argtypes=(ptr, ptr, ptr, _I64, _I64, _I64,
+                                ptr, ptr, ptr))
 
 
 def expand_cols_spec(dtype: str, kernel: int, stride: int,
@@ -442,6 +494,92 @@ void {spec.symbol}(const {T}* x, {T}* out, i64 n, i64 c, i64 inner{arg_text}) {{
 """
 
 
+def _render_fused_bwd(spec: KernelSpec) -> str:
+    """One backward pass collapsing a run of multiplier-only stages.
+
+    Each stage multiplier replays its NumPy reference rounding-for-
+    rounding: a mask multiply by 1 is skipped outright (IEEE ``v * 1``
+    returns ``v`` bit-for-bit), a false mask multiplies by literal zero
+    (preserving NumPy's signed zeros and NaN propagation), tanh/sigmoid
+    rebuild their multipliers from the saved output with one rounding per
+    recorded op, and ``-ffp-contract=off`` keeps every multiply/subtract
+    separate.  ``g`` and ``out`` may alias (the owned-gradient path);
+    every stage maps index ``i`` to index ``i``.
+    """
+    T = _CTYPE[spec.dtype]
+    codes = _fused_codes(spec)
+    args, setup, body = [], [], []
+    uses_output = any(code in _BWD_OUTPUT_CODES for code in codes)
+    for k, code in enumerate(codes):
+        if code == "l":
+            args.append(f"double s{k}")
+            setup.append(f"const {T} s{k}_t = ({T})s{k};")
+            body.append(f"v = y[i] > ({T})0 ? v : v * s{k}_t;")
+        elif code == "r":
+            body.append(f"v = y[i] > ({T})0 ? v : v * ({T})0;")
+        elif code == "t":
+            body.append(f"v = v * (({T})1 - y[i] * y[i]);")
+        elif code == "s":
+            body.append("v = v * y[i];")
+            body.append(f"v = v * (({T})1 - y[i]);")
+        elif code == "n":
+            body.append("v = -v;")
+        elif code in ("m", "d"):
+            args.append(f"double s{k}")
+            setup.append(f"const {T} s{k}_t = ({T})s{k};")
+            operator = "*" if code == "m" else "/"
+            body.append(f"v = v {operator} s{k}_t;")
+        elif code == "p":
+            body.append("/* add_scalar: gradient passes through. */")
+        else:  # pragma: no cover - fused_bwd_spec already validated
+            raise ValueError(f"unknown fused backward stage code {code!r}")
+    arg_text = "".join(f",\n                   {arg}" for arg in args)
+    setup_text = "".join(f"    {line}\n" for line in setup)
+    stage_text = "".join(f"        {line}\n" for line in body)
+    y_decl = f"const {T}* y" if uses_output else f"const {T}* y_unused"
+    y_silence = "" if uses_output else "    (void)y_unused;\n"
+    return f"""\
+/* Fused backward multipliers [{' -> '.join(codes)}] (application order):
+   one pass over the incoming gradient, bit-identical to the sequential
+   NumPy stage multipliers. */
+void {spec.symbol}(const {T}* g, {y_decl}, {T}* out, i64 n{arg_text}) {{
+{setup_text}{y_silence}    for (i64 i = 0; i < n; ++i) {{
+        {T} v = g[i];
+{stage_text}        out[i] = v;
+    }}
+}}
+"""
+
+
+def _render_bn_bwd_dx(spec: KernelSpec) -> str:
+    T = _CTYPE[spec.dtype]
+    return f"""\
+/* Train-mode BatchNorm input gradient g*s1[ch] + x*s2[ch] + s3[ch]:
+   two multiplies then two adds per element, the exact rounding order of
+   the NumPy reference (no FMA contraction). */
+void {spec.symbol}(const {T}* restrict g, const {T}* restrict x,
+                   {T}* restrict out, i64 n, i64 c, i64 inner,
+                   const {T}* restrict s1, const {T}* restrict s2,
+                   const {T}* restrict s3) {{
+    const i64 outer = n / (c * inner);
+    for (i64 o = 0; o < outer; ++o)
+    for (i64 ch = 0; ch < c; ++ch) {{
+        const {T} s1c = s1[ch];
+        const {T} s2c = s2[ch];
+        const {T} s3c = s3[ch];
+        const i64 base = (o * c + ch) * inner;
+        for (i64 k = 0; k < inner; ++k) {{
+            {T} v = g[base + k] * s1c;
+            const {T} term = x[base + k] * s2c;
+            v = v + term;
+            v = v + s3c;
+            out[base + k] = v;
+        }}
+    }}
+}}
+"""
+
+
 def _render_col2im(spec: KernelSpec) -> str:
     T = _CTYPE[spec.dtype]
     params = dict(spec.params)
@@ -675,6 +813,7 @@ _RENDERERS = {
     "sgd_update": _render_sgd_update,
     "adam_update": _render_adam_update,
     "leaky_relu": _render_leaky_relu,
+    "bn_bwd_dx": _render_bn_bwd_dx,
     "matmul": _render_matmul,
 }
 
@@ -684,6 +823,8 @@ def render_kernel(spec: KernelSpec) -> str:
     if spec.dtype not in SUPPORTED_DTYPES:
         raise ValueError(f"cannot render dtype {spec.dtype!r}; supported: "
                          f"{SUPPORTED_DTYPES}")
+    if spec.op.startswith("fusedbwd_"):
+        return _PRELUDE + "\n" + _render_fused_bwd(spec)
     if spec.op.startswith("fused_"):
         return _PRELUDE + "\n" + _render_fused(spec)
     try:
@@ -702,8 +843,16 @@ STANDARD_CONV_GEOMETRIES = ((4, 2, 1), (4, 1, 1), (3, 1, 1))
 #: Fused chain signatures the paper's generator blocks record under lazy
 #: sampling: conv-bias → BatchNorm eval affine → activation (down blocks
 #: leaky-ReLU, up blocks ReLU), plus the bias-only tail of the output
-#: block (whose tanh realizes NumPy-side).
-STANDARD_FUSED_CHAINS = (("b", "a", "l"), ("b", "a", "r"), ("b",))
+#: block (whose tanh realizes NumPy-side).  The training tape records the
+#: same ``("b", "a", "l")`` chain for both activations (ReLU is taped as
+#: slope-0 leaky-ReLU) plus bias-affine pairs on the normalized blocks.
+STANDARD_FUSED_CHAINS = (("b", "a", "l"), ("b", "a", "r"), ("b", "a"),
+                         ("b", "l"), ("b",))
+
+#: Backward multiplier runs the standard architectures record: the taped
+#: activations (ReLU lowers to slope-0 leaky-ReLU), the tanh/sigmoid
+#: output heads and the scalar arithmetic of the loss preamble.
+STANDARD_FUSED_BWD_CHAINS = (("l",), ("t",), ("s",), ("m",))
 
 
 def standard_kernel_specs(dtypes=SUPPORTED_DTYPES) -> list[KernelSpec]:
@@ -722,5 +871,8 @@ def standard_kernel_specs(dtypes=SUPPORTED_DTYPES) -> list[KernelSpec]:
         specs.append(elementwise_spec("leaky_relu", dtype))
         for chain in STANDARD_FUSED_CHAINS:
             specs.append(fused_spec(chain, dtype))
+        for chain in STANDARD_FUSED_BWD_CHAINS:
+            specs.append(fused_bwd_spec(chain, dtype))
+        specs.append(bn_bwd_dx_spec(dtype))
         specs.append(matmul_spec(dtype))
     return specs

@@ -64,6 +64,29 @@ def _needs_graph(*tensors: Tensor | None) -> bool:
                                      for t in tensors)
 
 
+def _tape_bias_add(out: Tensor, bias: Tensor, reduce_grad) -> Tensor:
+    """Record a conv bias as a tape stage instead of an eager add.
+
+    The bias add opens (or extends) a fused elementwise chain — the next
+    BatchNorm affine / activation stages land in the same single
+    ``fused_elementwise`` pass — while backward accumulates the bias
+    gradient through ``reduce_grad`` (each conv passes its exact eager
+    reduction expression, keeping the tape bit-identical to eager) and
+    passes the output gradient through to the conv node unchanged.
+    """
+    child = out._tape_child("bias_add", (bias.data,), "conv_bias",
+                            extra_parents=(bias,))
+    bias_needs = bias.requires_grad
+
+    def _backward():
+        grad = child.grad
+        if bias_needs and bias.requires_grad:
+            bias._accumulate(reduce_grad(grad))
+        out._accumulate(grad)
+    child._backward = _backward
+    return child
+
+
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution (cross-correlation) over an NCHW tensor.
@@ -95,37 +118,54 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         if bias is not None:
             node = _lazy.stage(node, "bias_add", (bias.data,))
         return Tensor._from_lazy(node, "conv2d")
-    # The column matrix is the largest allocation of the forward pass; on
-    # graph-free paths it comes from the arena (the backward closure below
-    # captures it, so it must be fresh whenever gradients are recorded).
+    # Under grad with lazy recording enabled (the training tape), the bias
+    # is deferred to a fused-chain stage instead of an eager add.
+    tape_bias = needs_graph and bias is not None and _lazy.is_lazy_enabled()
+    # The column matrix is the largest allocation of the forward pass; it
+    # must be fresh only when backward will actually read it — the weight
+    # gradient is its sole backward consumer, so graph-free paths *and*
+    # frozen-weight convs (the GAN's alternating phases) recycle arena
+    # scratch.  The freeze decision is snapshot at forward time.
+    weight_needs = needs_graph and weight.requires_grad
     cols = backend.im2col(x.data, kernel, stride, padding,
-                          scratch=not needs_graph)
+                          scratch=not weight_needs)
     weight_flat = weight.data.reshape(out_channels, -1)
     # (N, C_out, H_out * W_out) via a BLAS-batched matmul (markedly faster
     # than the equivalent einsum for these shapes).
     out_data = backend.matmul(weight_flat, cols)
-    if bias is not None:
+    if bias is not None and not tape_bias:
         out_data += bias.data.reshape(1, -1, 1)
     out_data = out_data.reshape(batch, out_channels, out_h, out_w)
 
-    parents = [x, weight] if bias is None else [x, weight, bias]
+    parents = [x, weight] if (bias is None or tape_bias) \
+        else [x, weight, bias]
     out = x._make_child(out_data, parents, "conv2d")
     if out.requires_grad:
         input_shape = x.shape
 
         def _backward():
             grad_out = out.grad.reshape(batch, out_channels, -1)
-            if weight.requires_grad:
+            if weight_needs and weight.requires_grad:
                 grad_weight = backend.matmul(
                     grad_out, cols.transpose(0, 2, 1)).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
-            if bias is not None and bias.requires_grad:
+            if bias is not None and not tape_bias and bias.requires_grad:
                 bias._accumulate(grad_out.sum(axis=(0, 2)))
             if x.requires_grad:
-                grad_cols = backend.matmul(weight_flat.T, grad_out)
-                x._accumulate(backend.col2im(grad_cols, input_shape, kernel,
-                                             stride, padding))
+                # The column gradient dies with this call: arena scratch.
+                scratch = backend.scratch_out(
+                    (batch, weight_flat.shape[1], grad_out.shape[2]),
+                    grad_out.dtype)
+                grad_cols = backend.matmul(weight_flat.T, grad_out,
+                                           out=scratch)
+                x._accumulate_owned(
+                    backend.col2im(grad_cols, input_shape, kernel, stride,
+                                   padding))
         out._backward = _backward
+    if tape_bias:
+        out = _tape_bias_add(
+            out, bias,
+            lambda g: g.reshape(batch, out_channels, -1).sum(axis=(0, 2)))
     return out
 
 
@@ -164,34 +204,40 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         return Tensor._from_lazy(node, "conv_transpose2d")
     # The transposed convolution is the adjoint of a convolution that maps the
     # output grid back to the input grid; the forward pass therefore uses
-    # col2im and the backward pass uses im2col.
+    # col2im and the backward pass uses im2col.  Backward never reads the
+    # forward column matrix (its consumers are ``col2im`` and nothing
+    # else), so it always comes from the arena — the saved-for-backward
+    # plan keeps only ``x_flat`` (a view of the input) alive.
+    tape_bias = needs_graph and bias is not None and _lazy.is_lazy_enabled()
     x_flat = x.data.reshape(batch, in_channels, -1)
     weight_flat = weight.data.reshape(in_channels, -1)  # (C_in, C_out*K*K)
-    if needs_graph:
-        cols = backend.matmul(weight_flat.T, x_flat)
-    else:
-        scratch = backend.scratch_out(
-            (batch, weight_flat.shape[1], x_flat.shape[2]), x.data.dtype)
-        cols = backend.matmul(weight_flat.T, x_flat, out=scratch)
+    scratch = backend.scratch_out(
+        (batch, weight_flat.shape[1], x_flat.shape[2]), x.data.dtype)
+    cols = backend.matmul(weight_flat.T, x_flat, out=scratch)
     out_data = backend.col2im(cols, output_shape, kernel, stride, padding)
-    if bias is not None:
+    if bias is not None and not tape_bias:
         out_data += bias.data.reshape(1, -1, 1, 1)
 
-    parents = [x, weight] if bias is None else [x, weight, bias]
+    parents = [x, weight] if (bias is None or tape_bias) \
+        else [x, weight, bias]
     out = x._make_child(out_data, parents, "conv_transpose2d")
     if out.requires_grad:
         def _backward():
-            grad_cols = backend.im2col(out.grad, kernel, stride, padding)
+            # The output-gradient columns die with this call too.
+            grad_cols = backend.im2col(out.grad, kernel, stride, padding,
+                                       scratch=True)
             if x.requires_grad:
                 grad_x = backend.matmul(weight_flat, grad_cols)
-                x._accumulate(grad_x.reshape(x.shape))
+                x._accumulate_owned(grad_x.reshape(x.shape))
             if weight.requires_grad:
                 grad_weight = backend.matmul(
                     x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
                 weight._accumulate(grad_weight.reshape(weight.shape))
-            if bias is not None and bias.requires_grad:
+            if bias is not None and not tape_bias and bias.requires_grad:
                 bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
         out._backward = _backward
+    if tape_bias:
+        out = _tape_bias_add(out, bias, lambda g: g.sum(axis=(0, 2, 3)))
     return out
 
 

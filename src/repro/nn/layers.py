@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn import lazy as _lazy
+from repro.nn.backend import get_backend
 from repro.nn.dtypes import get_default_dtype, resolve_dtype
 from repro.nn.tensor import Tensor, is_grad_enabled
 
@@ -368,24 +370,87 @@ class BatchNorm2d(Module):
         if x.ndim != 4:
             raise ValueError("BatchNorm2d expects an NCHW tensor")
         if self.training:
-            mean = x.mean(axis=(0, 2, 3), keepdims=True)
-            var = x.var(axis=(0, 2, 3), keepdims=True)
-            momentum = self.momentum
-            self._buffers["running_mean"] = (
-                (1 - momentum) * self._buffers["running_mean"]
-                + momentum * mean.data.reshape(-1))
-            self._buffers["running_var"] = (
-                (1 - momentum) * self._buffers["running_var"]
-                + momentum * var.data.reshape(-1))
-        else:
-            if not is_grad_enabled():
-                return self._eval_fast_forward(x)
-            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
-            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+            return self._train_forward(x)
+        if not is_grad_enabled():
+            return self._eval_fast_forward(x)
+        mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
+        var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
         normalized = (x - mean) / ((var + self.eps) ** 0.5)
         weight = self.weight.reshape(1, self.num_features, 1, 1)
         bias = self.bias.reshape(1, self.num_features, 1, 1)
         return normalized * weight + bias
+
+    def _train_forward(self, x: Tensor) -> Tensor:
+        """Closed-form train-mode path: one affine map, analytic backward.
+
+        The batch statistics force a realization barrier anyway (the mean
+        and variance need the values), so the normalization folds into a
+        single per-channel affine ``y = x * scale + shift`` — recordable
+        as a fused-chain stage both on no-grad rollouts and on the
+        training tape — with the textbook closed-form backward in place
+        of the generic autograd decomposition (which would materialize
+        five intermediates and their gradients).
+        """
+        x_data = x.data  # realization barrier
+        mean = x_data.mean(axis=(0, 2, 3))
+        var = x_data.var(axis=(0, 2, 3))
+        momentum = self.momentum
+        self._buffers["running_mean"] = (
+            (1 - momentum) * self._buffers["running_mean"] + momentum * mean)
+        self._buffers["running_var"] = (
+            (1 - momentum) * self._buffers["running_var"] + momentum * var)
+        invstd = 1.0 / np.sqrt(var + self.eps)
+        scale = self.weight.data * invstd
+        shift = self.bias.data - mean * scale
+        channel_shape = (1, -1, 1, 1)
+        if not is_grad_enabled():
+            if _lazy.is_lazy_enabled():
+                # Training-mode rollout under ``no_grad`` (the GAN's
+                # frozen phases): the affine is a plain lazy stage the
+                # realizer fuses with the surrounding chain.
+                node = _lazy.stage(_lazy.const(x_data), "affine",
+                                   (scale, shift))
+                return Tensor._from_lazy(node, "batchnorm_train")
+            data = x_data * scale.reshape(channel_shape) \
+                + shift.reshape(channel_shape)
+            return x._make_child(data, (x,), "batchnorm_train")
+        backend = get_backend()
+        weight, bias = self.weight, self.bias
+        parents = (x, weight, bias)
+        if x._tape_recording() or (_lazy.is_lazy_enabled()
+                                   and (weight.requires_grad
+                                        or bias.requires_grad)):
+            out = x._tape_child("affine", (scale, shift), "batchnorm_train",
+                                extra_parents=(weight, bias))
+        else:
+            data = x_data * scale.reshape(channel_shape) \
+                + shift.reshape(channel_shape)
+            out = x._make_child(data, parents, "batchnorm_train")
+            if not out.requires_grad:
+                return out
+        x_needs = x.requires_grad
+        w_needs = weight.requires_grad
+        b_needs = bias.requires_grad
+        weight_data = weight.data
+        m_count = x_data.size // x_data.shape[1]  # N*H*W per channel
+
+        def _backward():
+            grad = out.grad
+            sum_g, sum_gx = backend.bn_bwd_reductions(grad, x_data, mean,
+                                                      invstd)
+            if b_needs and bias.requires_grad:
+                bias._accumulate(sum_g)
+            if w_needs and weight.requires_grad:
+                weight._accumulate(sum_gx)
+            if x_needs and x.requires_grad:
+                inv_m = x_data.dtype.type(1.0 / m_count)
+                s1 = weight_data * invstd
+                s2 = -(s1 * invstd) * (sum_gx * inv_m)
+                s3 = -(s1 * (sum_g * inv_m)) - mean * s2
+                x._accumulate_owned(backend.bn_bwd_dx(grad, x_data,
+                                                      s1, s2, s3))
+        out._backward = _backward
+        return out
 
     def _eval_fast_forward(self, x: Tensor) -> Tensor:
         """Graph-free inference path: one fused affine map per call.

@@ -22,16 +22,30 @@ deciding fusion globally rather than per call site:
   are filled analytically — the ``(N, d, H, W)`` maps themselves are
   never built.
 
-Recording is active only inside :func:`lazy_eval` *and* with gradients
-disabled; the eager autograd paths are untouched.  Realization is
-bit-identical to the eager pipeline: every lowering preserves the exact
-operation order and rounding of the eager kernels (segmented ``im2col``
-is pure indexing, the single BLAS matmul per conv is kept whole, fused
-stages apply one rounding per recorded op).
+Graph-free recording is active only inside :func:`lazy_eval` with
+gradients disabled.  With gradients *enabled*, :func:`lazy_eval` switches
+the engine to **tape-mode recording** instead (``Tensor._tape_child``):
+elementwise training chains (conv-bias add → BatchNorm train-mode
+normalize+affine → leaky-ReLU) still record stage nodes over a realized
+base — so the forward pass fuses them into single ``fused_elementwise``
+calls at the next barrier — while the autograd tape keeps one lightweight
+node per stage holding chain metadata rather than materialized
+intermediates.  Backward lowers those nodes through the backend's fused
+backward kernels (``fused_elementwise_bwd`` for activation/scalar
+multiplier runs with masks recovered from the chain *output*,
+``bn_bwd_dx`` for the BatchNorm closed form), and mid-chain values that
+backward never reads are simply never computed (the saved-for-backward
+realization plan).  Realization is bit-identical to the eager pipeline on
+both paths: every lowering preserves the exact operation order and
+rounding of the eager kernels (segmented ``im2col`` is pure indexing, the
+single BLAS matmul per conv is kept whole, fused stages apply one
+rounding per recorded op, fused backward multipliers replay the eager
+gradient expressions).
 
 ``Tensor.data`` is the universal realization barrier: any operation the
 recorder does not understand reads ``.data``, which realizes the graph
-and continues eagerly — falling back is never an error.
+and continues eagerly — falling back is never an error, with or without
+gradients.
 """
 
 from __future__ import annotations

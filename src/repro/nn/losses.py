@@ -10,6 +10,12 @@ backend reduction kernel and the backward pass one closed-form expression.
 Loss values accumulate in float64 regardless of the activation dtype — the
 scalar is where float32 round-off would actually compound — while the
 gradients flowing back into the network keep the network's dtype.
+
+Reading ``prediction.data`` doubles as the realization barrier of the lazy
+tape (:mod:`repro.nn.lazy`): a fused training-path chain materializes here,
+and the closed-form gradient buffers are handed to the tape via
+``_accumulate_owned`` — they are freshly built, so the first accumulation
+adopts them without a defensive copy.
 """
 
 from __future__ import annotations
@@ -48,8 +54,8 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
         def _backward():
             scale = diff.dtype.type(2.0 / diff.size) \
                 * diff.dtype.type(out.grad)
-            prediction._accumulate(_unbroadcast(diff * scale,
-                                                prediction.data.shape))
+            prediction._accumulate_owned(_unbroadcast(diff * scale,
+                                                      prediction.data.shape))
         out._backward = _backward
     return out
 
@@ -63,8 +69,8 @@ def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
         def _backward():
             scale = diff.dtype.type(1.0 / diff.size) \
                 * diff.dtype.type(out.grad)
-            prediction._accumulate(_unbroadcast(np.sign(diff) * scale,
-                                                prediction.data.shape))
+            prediction._accumulate_owned(_unbroadcast(np.sign(diff) * scale,
+                                                      prediction.data.shape))
         out._backward = _backward
     return out
 
@@ -99,7 +105,7 @@ def bce_with_logits_loss(logits: Tensor, target_value: float) -> Tensor:
             grad = backend.sigmoid(x)
             grad -= x.dtype.type(target_value)
             grad *= x.dtype.type(1.0 / x.size) * x.dtype.type(out.grad)
-            logits._accumulate(grad)
+            logits._accumulate_owned(grad)
         out._backward = _backward
     return out
 

@@ -166,6 +166,78 @@ class Tensor:
                                  op or kind)
 
     # ------------------------------------------------------------------ #
+    # Tape-mode recording (lazy realization with gradients enabled)
+    # ------------------------------------------------------------------ #
+    def _tape_recording(self) -> bool:
+        """Whether elementwise ops on this tensor record tape stages.
+
+        Inside :func:`~repro.nn.lazy.lazy_eval` with gradients enabled,
+        elementwise chains are recorded as lazy stage nodes — so the
+        forward pass fuses them into one ``fused_elementwise`` call at the
+        next realization barrier — while the autograd tape keeps one
+        lightweight node per stage (chain metadata, not materialized
+        intermediates); the backward pass lowers those nodes through the
+        fused backward kernels of the backend.
+
+        0-d tensors (loss scalars) never record: a one-element fused
+        kernel buys nothing, and the eager scalar path is already the
+        bit-exact reference.
+        """
+        return (_GRAD_ENABLED and self.requires_grad
+                and self.ndim > 0 and _lazy.is_lazy_enabled())
+
+    def _tape_child(self, kind: str, params: tuple, op: str,
+                    extra_parents: tuple = ()) -> "Tensor":
+        """A stage child that is simultaneously lazy and differentiable.
+
+        The child's ``_lazy`` extends this tensor's pending chain (or
+        starts a fresh one over the realized value); the caller installs
+        the matching ``_backward``.  Mid-chain children are never
+        materialized unless backward (or another consumer) actually reads
+        them — the saved-for-backward realization plan.
+        """
+        counters = get_backend().fusion_counters
+        if self._lazy is not None:
+            node = self._lazy
+        else:
+            node = _lazy.const(self._data)
+            counters["train_fwd_chains"] += 1
+        counters["train_fwd_stages"] += 1
+        child = Tensor.__new__(Tensor)
+        child._data = None
+        child._lazy = _lazy.stage(node, kind, params)
+        child.requires_grad = True
+        child.grad = None
+        child._backward = None
+        child._parents = (self,) + tuple(extra_parents)
+        child._op = op
+        return child
+
+    def _tape_multiplier_stage(self, kind: str, params: tuple = (),
+                               op: str = "") -> "Tensor":
+        """Record a stage whose input gradient is a pure multiplier.
+
+        Covers the activations whose mask is recoverable from the chain
+        *output* (leaky-ReLU / ReLU-as-slope-0 / tanh / sigmoid) and
+        scalar arithmetic; backward is one ``fused_elementwise_bwd`` call.
+        """
+        backend = get_backend()
+        child = self._tape_child(kind, params, op or kind)
+        stage_item = (kind, *params)
+        needs_output = kind in ("leaky_relu", "relu", "tanh", "sigmoid")
+
+        def _backward():
+            output = child.data if needs_output else None
+            grad_in = backend.fused_elementwise_bwd(child.grad, [stage_item],
+                                                    output)
+            if grad_in is child.grad:
+                self._accumulate(grad_in)
+            else:
+                self._accumulate_owned(grad_in)
+        child._backward = _backward
+        return child
+
+    # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -300,11 +372,28 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         # Accumulation is dtype preserving: whatever dtype the incoming
         # gradient arrives with (e.g. the float64 scalar seeding a loss), the
-        # stored gradient keeps the tensor's own dtype.
+        # stored gradient keeps the tensor's own dtype.  ``self.dtype`` (not
+        # ``self.data.dtype``) so accumulating into a mid-chain tape tensor
+        # does not force its forward value to materialize.
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            self.grad = np.array(grad, dtype=self.dtype, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer the caller hands over.
+
+        The fused backward kernels of the tape path produce fresh arrays
+        nothing else references; adopting them in place of the defensive
+        first-accumulation copy is the tape's in-place grad accumulation.
+        Falls back to :meth:`_accumulate` whenever adoption would change
+        semantics (existing gradient, dtype/shape mismatch).
+        """
+        if (self.grad is None and isinstance(grad, np.ndarray)
+                and grad.dtype == self.dtype and grad.shape == self.shape):
+            self.grad = grad
+        else:
+            self._accumulate(grad)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -377,6 +466,11 @@ class Tensor:
             scalar = _scalar_or_none(other)
             if scalar is not None:
                 return self._lazy_stage("add_scalar", (scalar,), "add")
+        elif self._tape_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._tape_multiplier_stage("add_scalar", (scalar,),
+                                                   "add")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data + other.data, (self, other), "add")
 
@@ -394,6 +488,8 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         if self._lazy_recording():
             return self._lazy_stage("neg")
+        if self._tape_recording():
+            return self._tape_multiplier_stage("neg")
         out = self._make_child(-self.data, (self,), "neg")
         if out.requires_grad:
             def _backward():
@@ -408,6 +504,11 @@ class Tensor:
                 # Matches the eager x + (-s): dtype rounding is symmetric
                 # under negation, so casting -s equals negating cast s.
                 return self._lazy_stage("add_scalar", (-scalar,), "sub")
+        elif self._tape_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._tape_multiplier_stage("add_scalar", (-scalar,),
+                                                   "sub")
         return self + (-Tensor._coerce(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
@@ -418,6 +519,11 @@ class Tensor:
             scalar = _scalar_or_none(other)
             if scalar is not None:
                 return self._lazy_stage("mul_scalar", (scalar,), "mul")
+        elif self._tape_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._tape_multiplier_stage("mul_scalar", (scalar,),
+                                                   "mul")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data * other.data, (self, other), "mul")
         if out.requires_grad:
@@ -436,6 +542,11 @@ class Tensor:
             scalar = _scalar_or_none(other)
             if scalar is not None:
                 return self._lazy_stage("div_scalar", (scalar,), "div")
+        elif self._tape_recording():
+            scalar = _scalar_or_none(other)
+            if scalar is not None:
+                return self._tape_multiplier_stage("div_scalar", (scalar,),
+                                                   "div")
         other = Tensor._coerce(other, self.data.dtype)
         out = self._make_child(self.data / other.data, (self, other), "div")
         if out.requires_grad:
@@ -487,6 +598,8 @@ class Tensor:
     def tanh(self) -> "Tensor":
         if self._lazy_recording():
             return self._lazy_stage("tanh")
+        if self._tape_recording():
+            return self._tape_multiplier_stage("tanh")
         value = get_backend().tanh(self.data)
         out = self._make_child(value, (self,), "tanh")
         if out.requires_grad:
@@ -498,6 +611,8 @@ class Tensor:
     def sigmoid(self) -> "Tensor":
         if self._lazy_recording():
             return self._lazy_stage("sigmoid")
+        if self._tape_recording():
+            return self._tape_multiplier_stage("sigmoid")
         value = get_backend().sigmoid(self.data)
         out = self._make_child(value, (self,), "sigmoid")
         if out.requires_grad:
@@ -522,6 +637,12 @@ class Tensor:
         if not self._needs_graph():
             return self._make_child(get_backend().relu(self.data), (self,),
                                     "relu")
+        if self._tape_recording():
+            # Recorded as slope-0 leaky-ReLU: ``where(x > 0, x, x * 0)``
+            # reproduces the eager grad-mode ``x * mask`` bit for bit
+            # (including the sign of zero), where ``maximum(x, 0)`` would
+            # not; the backward mask is recovered from the chain output.
+            return self._tape_multiplier_stage("leaky_relu", (0.0,), "relu")
         mask = self.data > 0
         out = self._make_child(self.data * mask, (self,), "relu")
         if out.requires_grad:
@@ -537,6 +658,9 @@ class Tensor:
             return self._make_child(
                 get_backend().leaky_relu(self.data, negative_slope),
                 (self,), "leaky_relu")
+        if self._tape_recording():
+            return self._tape_multiplier_stage(
+                "leaky_relu", (float(negative_slope),))
         mask = self.data > 0
         scale = np.where(mask, self.data.dtype.type(1.0),
                          self.data.dtype.type(negative_slope))

@@ -1,0 +1,332 @@
+"""Tests for the autograd-aware lazy tape (fused training kernels).
+
+The training tape's contract is the same bit-identity bar the inference
+lazy graph already meets, extended through backward: recording forward
+elementwise chains under gradients (conv-bias → train-mode BatchNorm
+affine → activation) and lowering backward through the fused kernels
+(``fused_elementwise_bwd``, ``bn_bwd_dx``, the fused bias/affine grad
+reductions) must leave **bit-identical weights** after full optimizer
+steps versus the eager path — on every architecture, dtype and backend.
+These tests pin that end to end (two Adam steps per architecture ×
+float32/float64 × numpy/cjit), per kernel (numpy-vs-cjit backward
+conformance), and for the recording semantics: unfusable ops fall back
+silently with exact gradients, and nested ``lazy_eval`` / ``no_grad``
+scopes pick the right recording mode (the GAN's frozen-discriminator
+phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, Trainer, build_model
+from repro.data import generate_paired_dataset
+from repro.flash import BlockGeometry, FlashChannel
+from repro.nn import Tensor, no_grad, use_backend
+from repro.nn import functional as F
+from repro.nn import lazy
+from repro.nn.backend import NumpyBackend
+from repro.nn.cjit import CJitBackend, cjit_available
+from repro.nn.layers import BatchNorm2d
+
+needs_compiler = pytest.mark.skipif(
+    not cjit_available(), reason="no C compiler (cc/clang/gcc) on PATH")
+
+ARCHITECTURES = ["cvae_gan", "cgan", "cvae", "bicycle_gan"]
+DTYPES = ["float32", "float64"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    simulator = FlashChannel(geometry=BlockGeometry(16, 16),
+                             rng=np.random.default_rng(5))
+    return generate_paired_dataset(simulator, pe_cycles=(4000.0, 10000.0),
+                                   arrays_per_pe=8, array_size=8)
+
+
+def _train_weights(arch, dtype, dataset, backend, lazy_on,
+                   steps: int = 2) -> dict[str, np.ndarray]:
+    """Weights after ``steps`` optimizer steps under the given policy."""
+    with use_backend(backend):
+        config = replace(ModelConfig.tiny(), dtype=dtype)
+        model = build_model(arch, config, rng=np.random.default_rng(21))
+        trainer = Trainer(model, dataset, rng=np.random.default_rng(22),
+                          lazy=lazy_on)
+        batch = dataset[0:4]
+        for _ in range(steps):
+            trainer.train_step(*batch)
+        return {key: value.copy()
+                for key, value in model.state_dict().items()}
+
+
+class TestTrainStepBitIdentity:
+    """Tape-mode training must equal eager training bit for bit."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_numpy_backend(self, arch, dtype, dataset):
+        eager = _train_weights(arch, dtype, dataset, "numpy", lazy_on=False)
+        taped = _train_weights(arch, dtype, dataset, "numpy", lazy_on=True)
+        assert eager.keys() == taped.keys()
+        for key in eager:
+            np.testing.assert_array_equal(taped[key], eager[key],
+                                          err_msg=key)
+
+    @needs_compiler
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_cjit_backend(self, arch, dtype, dataset, cjit_backend):
+        eager = _train_weights(arch, dtype, dataset, "numpy", lazy_on=False)
+        taped = _train_weights(arch, dtype, dataset, cjit_backend,
+                               lazy_on=True)
+        assert eager.keys() == taped.keys()
+        for key in eager:
+            np.testing.assert_array_equal(taped[key], eager[key],
+                                          err_msg=key)
+
+    def test_tape_populates_training_counters(self, dataset):
+        backend = NumpyBackend()
+        _train_weights("cvae_gan", "float32", dataset, backend, lazy_on=True)
+        stats = backend.fusion_stats()
+        assert stats["train_fwd_chains"] > 0
+        assert stats["train_fwd_stages"] >= stats["train_fwd_chains"]
+        assert stats["train_bwd_kernels"] > 0
+        assert backend.arena.stats()["peak_bytes"] > 0
+
+    def test_eager_training_records_no_forward_chains(self, dataset):
+        backend = NumpyBackend()
+        _train_weights("cvae", "float32", dataset, backend, lazy_on=False)
+        stats = backend.fusion_stats()
+        # No tape: nothing fuses forward.  (``train_bwd_kernels`` may
+        # still count — the train-mode BatchNorm closed-form backward
+        # routes through ``bn_bwd_dx`` on the eager path too.)
+        assert stats["train_fwd_chains"] == 0
+        assert stats["train_fwd_stages"] == 0
+
+
+def _micro_step(backend, lazy_on, dtype, unfusable=False):
+    """Gradients of a conv → BN(train) → leaky-ReLU micro-graph."""
+    rng = np.random.default_rng(7)
+    x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(dtype),
+               requires_grad=True)
+    w = Tensor((rng.standard_normal((4, 3, 3, 3)) * 0.1).astype(dtype),
+               requires_grad=True)
+    b = Tensor(rng.standard_normal(4).astype(dtype), requires_grad=True)
+    mix = Tensor(rng.standard_normal((2, 4, 8, 8)).astype(dtype),
+                 requires_grad=True)
+    norm = BatchNorm2d(4).to(np.dtype(dtype))
+    with use_backend(backend), lazy.lazy_eval(lazy_on):
+        h = F.conv2d(x, w, b, stride=1, padding=1)
+        h = norm(h).leaky_relu(0.2)
+        if unfusable:
+            # Tensor-tensor multiply is not a recordable tape stage: the
+            # chain must realize silently and continue on the eager graph.
+            h = h * mix
+        (h * h).mean().backward()
+    return {"x": x.grad, "w": w.grad, "b": b.grad, "mix": mix.grad,
+            "bn_w": norm.weight.grad, "bn_b": norm.bias.grad}
+
+
+class TestFallbackSemantics:
+    """Unfusable ops under grad fall back silently, gradients exact."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_unfusable_op_matches_eager_gradients(self, dtype):
+        backend = NumpyBackend()
+        eager = _micro_step(backend, lazy_on=False, dtype=dtype,
+                            unfusable=True)
+        taped = _micro_step(backend, lazy_on=True, dtype=dtype,
+                            unfusable=True)
+        for key, want in eager.items():
+            np.testing.assert_array_equal(taped[key], want, err_msg=key)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_fused_chain_matches_eager_gradients(self, dtype):
+        backend = NumpyBackend()
+        eager = _micro_step(backend, lazy_on=False, dtype=dtype)
+        taped = _micro_step(backend, lazy_on=True, dtype=dtype)
+        for key, want in eager.items():
+            if want is None:
+                assert taped[key] is None
+                continue
+            np.testing.assert_array_equal(taped[key], want, err_msg=key)
+
+    def test_scalar_losses_do_not_tape(self):
+        # 0-d arithmetic (loss preambles like ``(a + b) * 0.5``) must stay
+        # eager: a one-element fused kernel buys nothing and compiled
+        # backends reject scalar chain bases.
+        a = Tensor(np.float64(2.0).reshape(()), requires_grad=True)
+        with lazy.lazy_eval():
+            out = (a * 0.5) + 1.0
+            assert out._lazy is None
+        out.backward()
+        assert float(a.grad) == 0.5
+
+
+class TestNestedRecordingModes:
+    """lazy_eval nested with no_grad picks the right recording mode.
+
+    This is the GAN's frozen-discriminator phase: the generator step runs
+    under the training tape, while discriminator-frozen forward passes
+    inside ``no_grad`` must record plain graph-free lazy nodes (and
+    fully-eager scopes must record nothing).
+    """
+
+    def test_frozen_phase_inside_tape_scope(self):
+        rng = np.random.default_rng(11)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor((rng.standard_normal((4, 3, 3, 3)) * 0.1)
+                   .astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal(4).astype(np.float32),
+                   requires_grad=True)
+        w_frozen = Tensor((rng.standard_normal((2, 4, 3, 3)) * 0.1)
+                          .astype(np.float32))
+        with lazy.lazy_eval():
+            h = F.conv2d(x, w, b, stride=1, padding=1).leaky_relu(0.2)
+            # Tape child: lazy chain *and* differentiable.
+            assert h._lazy is not None and h.requires_grad
+            with no_grad():
+                frozen = F.conv2d(Tensor(h.data), w_frozen, stride=1,
+                                  padding=1)
+                # Graph-free lazy node: recorded, not differentiable.
+                assert frozen._lazy is not None
+                assert not frozen.requires_grad
+                with lazy.lazy_eval(False):
+                    eager = F.conv2d(Tensor(h.data), w_frozen, stride=1,
+                                     padding=1)
+                    assert eager._lazy is None
+                np.testing.assert_array_equal(frozen.data, eager.data)
+            # Back in the tape scope: recording resumes.
+            h2 = h.leaky_relu(0.2)
+            assert h2._lazy is not None and h2.requires_grad
+            (h2 * h2).mean().backward()
+        assert x.grad is not None and w.grad is not None
+        assert b.grad is not None
+
+    def test_frozen_phase_gradients_match_eager(self):
+        def run(lazy_on):
+            rng = np.random.default_rng(13)
+            x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32),
+                       requires_grad=True)
+            w = Tensor((rng.standard_normal((4, 3, 3, 3)) * 0.1)
+                       .astype(np.float32), requires_grad=True)
+            w_frozen = Tensor((rng.standard_normal((4, 4, 3, 3)) * 0.1)
+                              .astype(np.float32))
+            with lazy.lazy_eval(lazy_on):
+                h = F.conv2d(x, w, stride=1, padding=1).leaky_relu(0.2)
+                with no_grad():
+                    shift = F.conv2d(Tensor(h.data), w_frozen, stride=1,
+                                     padding=1).tanh().data
+                out = (h + 1.0) * 0.5
+                (out * out).mean().backward()
+            return x.grad.copy(), w.grad.copy(), shift.copy()
+
+        eager = run(False)
+        taped = run(True)
+        for got, want in zip(taped, eager):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestFusedBackwardConformance:
+    """Compiled backward kernels must equal the NumPy lowering bitwise."""
+
+    STAGE_RUNS = (
+        [("leaky_relu", 0.2)],
+        [("leaky_relu", 0.0)],
+        [("relu",)],
+        [("tanh",)],
+        [("sigmoid",)],
+        [("neg",)],
+        [("mul_scalar", 0.5)],
+        [("div_scalar", 3.0)],
+        [("add_scalar", 1.5)],
+        [("mul_scalar", 0.5), ("add_scalar", 1.0), ("leaky_relu", 0.2),
+         ("neg",)],
+    )
+
+    @needs_compiler
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_fused_elementwise_bwd_matches_numpy(self, dtype, cjit_backend):
+        rng = np.random.default_rng(3)
+        reference = NumpyBackend()
+        grad = rng.standard_normal((2, 3, 8, 8)).astype(dtype)
+        output = np.tanh(rng.standard_normal((2, 3, 8, 8))).astype(dtype)
+        for stages in self.STAGE_RUNS:
+            want = reference.fused_elementwise_bwd(grad.copy(), stages,
+                                                   output)
+            got = cjit_backend.fused_elementwise_bwd(grad.copy(), stages,
+                                                     output)
+            assert got.dtype == want.dtype
+            np.testing.assert_array_equal(got, want, err_msg=str(stages))
+
+    @needs_compiler
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_bn_bwd_dx_matches_numpy(self, dtype, cjit_backend):
+        rng = np.random.default_rng(4)
+        reference = NumpyBackend()
+        grad = rng.standard_normal((2, 5, 6, 6)).astype(dtype)
+        x = rng.standard_normal((2, 5, 6, 6)).astype(dtype)
+        s1 = rng.standard_normal(5).astype(dtype)
+        s2 = rng.standard_normal(5).astype(dtype)
+        s3 = rng.standard_normal(5).astype(dtype)
+        want = reference.bn_bwd_dx(grad, x, s1, s2, s3)
+        got = cjit_backend.bn_bwd_dx(grad, x, s1, s2, s3)
+        np.testing.assert_array_equal(got, want)
+
+    @needs_compiler
+    def test_unknown_stage_kind_falls_back(self, cjit_backend):
+        # A run containing a kind outside the renderable table must route
+        # through the inherited sequential lowering, not a compile error.
+        grad = np.ones((2, 2), dtype=np.float32)
+        stages = [("mul_scalar", 2.0), ("cast", np.dtype(np.float32))]
+        with pytest.raises(ValueError):
+            # The NumPy reference rejects non-multiplier kinds; the cjit
+            # override must surface the same error, not a kernel failure.
+            cjit_backend.fused_elementwise_bwd(grad, stages, grad)
+
+    def test_numpy_inplace_reuses_owned_gradient(self):
+        backend = NumpyBackend()
+        grad = np.full((4,), 2.0, dtype=np.float32)
+        out = backend.fused_elementwise_bwd(grad, [("mul_scalar", 3.0)],
+                                            None, inplace=True)
+        assert out is grad
+        np.testing.assert_array_equal(out, np.full((4,), 6.0,
+                                                   dtype=np.float32))
+
+
+class TestArenaPeakTracking:
+    def test_peak_bytes_high_water_and_reset(self):
+        backend = NumpyBackend()
+        stats = backend.arena.stats()
+        assert stats["peak_bytes"] == 0
+        backend.scratch_out((64, 64), np.float32)
+        peak = backend.arena.stats()["peak_bytes"]
+        assert peak >= 64 * 64 * 4
+        # Same-key reuse does not raise the peak.
+        backend.scratch_out((64, 64), np.float32)
+        assert backend.arena.stats()["peak_bytes"] == peak
+        backend.arena.reset_peak()
+        # The live pool still counts: peak restarts from resident bytes.
+        assert backend.arena.stats()["peak_bytes"] == \
+            backend.arena.stats()["bytes"]
+
+
+class TestStatsCLI:
+    def test_cli_stats_reports_training_counters(self, capsys, tmp_path,
+                                                 monkeypatch):
+        from repro.artifacts.kernels import KERNEL_CACHE_ENV
+        from repro.nn import backend as backend_mod
+
+        monkeypatch.setenv(KERNEL_CACHE_ENV, str(tmp_path))
+        assert backend_mod.main(["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy train fusion stats:" in out
+        assert "train_fwd_chains=" in out
+        assert "train_bwd_kernels=" in out
+        assert "arena_peak_bytes=" in out
+        if cjit_available():
+            assert "cjit train fusion stats:" in out
