@@ -28,9 +28,11 @@ cores, so the benchmark is honest on constrained runners while CI (4 vCPUs)
 enforces the full ladder.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_exec.py``); pass
-``--smoke`` for the quick 2-worker process-pool determinism shard only, or
+``--smoke`` for the quick 2-worker process-pool determinism shard only,
 ``--remote-smoke`` for the 2-worker localhost-fleet determinism sweep (the
-CI ``exec-remote`` job).
+CI ``exec-remote`` job), or ``--obs-smoke`` for the traced fleet campaign
+with trace-schema, Chrome-export, and worker-log checks (the CI
+``obs-smoke`` job; ``--trace-out`` picks the trace file location).
 """
 
 from __future__ import annotations
@@ -187,6 +189,75 @@ def run_remote_smoke() -> None:
           f"serial; fleet stats: {fleet.last_run_stats}")
 
 
+def run_obs_smoke(trace_out: str | None = None, quiet: bool = False) -> dict:
+    """Traced 2-worker remote campaign: the CI ``obs-smoke`` gate.
+
+    Runs the determinism sweep through a spawned fleet with tracing on and
+    per-worker structured logs, then checks the whole observability story
+    end to end: results bit-identical to serial, every trace record passes
+    the schema, one merged timeline with a shard span per shard, the Chrome
+    export loads, and both worker log files recorded their lifecycle.
+    Returns the compact trace-summary block for ``pipeline.json``.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.ecc import evaluate_ldpc_over_channel
+    from repro.exec import RemoteExecutor
+    from repro.obs import tracing
+    from repro.obs.report import (chrome_trace, format_summary, summarize,
+                                  trace_summary_block)
+    from repro.obs.sink import read_trace, validate_trace
+
+    trace_path = Path(trace_out) if trace_out else \
+        Path(tempfile.mkdtemp(prefix="obs-smoke-")) / "trace.jsonl"
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    log_dir = trace_path.parent / "worker-logs"
+
+    channel, code = _build_campaign(seed=123)
+    kwargs = dict(num_codewords=16, group_size=4, seed=123)
+    serial = evaluate_ldpc_over_channel(code, channel, PE_CYCLES,
+                                        executor="serial", **kwargs)
+    fleet = RemoteExecutor(workers=2, worker_log_dir=log_dir)
+    try:
+        with tracing(str(trace_path)):
+            remote = evaluate_ldpc_over_channel(code, channel, PE_CYCLES,
+                                                executor=fleet, **kwargs)
+    finally:
+        fleet.close()
+    if not np.array_equal(serial.frame_records, remote.frame_records):
+        raise SystemExit("traced remote fleet diverged from serial — "
+                         "tracing must never perturb the numbers")
+    count, errors = validate_trace(trace_path)
+    if errors:
+        raise SystemExit(f"trace schema validation failed "
+                         f"({len(errors)} error(s)): {errors[0]}")
+    records = read_trace(trace_path)
+    summary = summarize(records)
+    if not summary["shards"]:
+        raise SystemExit("traced remote run produced no shard spans")
+    if len(summary["pids"]) < 2:
+        raise SystemExit("worker spans did not merge into the parent "
+                         f"timeline (pids seen: {summary['pids']})")
+    exported = chrome_trace(records)
+    json.loads(json.dumps(exported))  # the export must round-trip as JSON
+    logs = sorted(log_dir.glob("worker-*.jsonl"))
+    if len(logs) != 2:
+        raise SystemExit(f"expected 2 worker log files, found {len(logs)}")
+    for path in logs:
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        if events[0] != "start" or "session_start" not in events:
+            raise SystemExit(f"worker log {path} missing lifecycle events: "
+                             f"{events}")
+    if not quiet:
+        print(format_summary(summary))
+        print(f"\nobs smoke OK: {count} record(s) validated, "
+              f"{len(exported['traceEvents'])} Chrome event(s), "
+              f"trace at {trace_path}, worker logs in {log_dir}")
+    return trace_summary_block(records)
+
+
 def merge_results(results: dict):
     """Fold this run into the tracked throughput file (exec + series)."""
     from results_io import load_results
@@ -211,6 +282,13 @@ def main() -> None:
     parser.add_argument("--remote-smoke", action="store_true",
                         help="run only the 2-worker localhost-fleet "
                              "determinism sweep")
+    parser.add_argument("--obs-smoke", action="store_true",
+                        help="run only the traced 2-worker fleet campaign "
+                             "with schema/export/worker-log checks (the CI "
+                             "obs-smoke gate)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="with --obs-smoke: write the trace JSONL here "
+                             "(default: a fresh temp dir)")
     parser.add_argument("--codewords", type=int, default=CODEWORDS)
     args = parser.parse_args()
 
@@ -220,7 +298,13 @@ def main() -> None:
     if args.remote_smoke:
         run_remote_smoke()
         return
+    if args.obs_smoke:
+        run_obs_smoke(args.trace_out)
+        return
     results = run_exec_benchmark(args.codewords)
+    # Self-profile of the traced smoke campaign rides along in pipeline.json,
+    # so each PR's entry records where the engine spent its time.
+    results["trace_summary"] = run_obs_smoke(args.trace_out, quiet=True)
     path = merge_results(results)
     print(json.dumps(results, indent=2))
     print(f"merged into {path}")

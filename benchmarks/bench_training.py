@@ -110,6 +110,15 @@ TRAIN_FUSION_ROUNDS = 8
 #: swallows the ratio again.
 TRAIN_FUSION_CHANNELS = 24
 
+#: Observability disabled-cost gate (``--obs``): the shipped conv training
+#: step (kernel-profiling hooks present, tracing off) vs the same backend
+#: with the hooks stripped back out (the pre-observability baseline),
+#: interleaved.  The disabled hook is one module-global load and a ``None``
+#: check per kernel call, so anything past this bound is a regression on
+#: the hot path.
+OBS_OVERHEAD_MAX = 0.02
+OBS_ROUNDS = 8
+
 #: Thresholds are enforced only on hosts with at least this many cores:
 #: single-core runners are typically oversubscribed CI shares whose timings
 #: are too noisy to gate on (the numbers are still recorded and tracked).
@@ -449,7 +458,9 @@ def run_train_fusion_benchmark() -> dict | None:
                                 TRAIN_FUSION_ROUNDS,
                                 labels=("tape_cjit", "eager_numpy"))
     fusion = cjit.fusion_stats()
+    trace_summary = _traced_step_block(_tape_train_steps(cjit, lazy_on=True))
     return {
+        "trace_summary": trace_summary,
         "train_step": {
             "array_size": TRAIN_ARRAY_SIZE,
             "batch_size": TRAIN_BATCH,
@@ -502,6 +513,74 @@ def merge_train_fusion_results(results: dict):
     }))
     return _merge_tracked_results({"train_fusion": results,
                                    "train_fusion_series": series})
+
+
+def _traced_step_block(stage) -> dict:
+    """One untimed traced pass of ``stage``: the self-profile block that
+    rides into ``pipeline.json`` next to the timing numbers, proving the
+    enabled path records the real kernel mix."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.report import trace_summary_block
+
+    obs_metrics.process_registry().reset()
+    with obs_trace.tracing() as tracer:
+        with obs_trace.span("bench.traced_step"):
+            stage()
+    return trace_summary_block(tracer.records)
+
+
+def run_obs_benchmark() -> dict:
+    """Disabled-mode observability overhead on the conv training step.
+
+    Times the shipped backend (kernel hooks in place, tracing off) against
+    the same backend with :func:`repro.nn.backend.strip_kernel_hooks`
+    applied — the pre-observability baseline reconstructed in place — and
+    reports the fractional overhead the hooks cost when nothing is
+    listening.
+    """
+    from repro.nn.backend import build_backend, strip_kernel_hooks
+
+    hooked = build_backend("numpy")
+    stripped = build_backend("numpy")
+    strip_kernel_hooks(stripped)
+    timings = _interleaved_best(_conv_train_steps(hooked),
+                                _conv_train_steps(stripped),
+                                OBS_ROUNDS, labels=("hooked", "stripped"))
+    return {
+        "conv_step": {
+            "array_size": TRAIN_ARRAY_SIZE,
+            "batch_size": TRAIN_BATCH,
+            "channels": CONV_STEP_CHANNELS,
+            "hooked_seconds": timings["hooked"] / CONV_STEPS_PER_ROUND,
+            "stripped_seconds": timings["stripped"] / CONV_STEPS_PER_ROUND,
+            "overhead_fraction":
+                timings["hooked"] / timings["stripped"] - 1.0,
+        },
+        "trace_summary": _traced_step_block(_conv_train_steps(hooked)),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def check_obs_threshold(results: dict) -> list[str]:
+    """Core-gated disabled-mode overhead failure (empty list = pass)."""
+    if results["cpu_count"] < GATE_MIN_CORES:
+        return []
+    overhead = results["conv_step"]["overhead_fraction"]
+    if overhead > OBS_OVERHEAD_MAX:
+        return [f"conv_step: disabled-mode observability hooks cost "
+                f"{overhead:.1%}, above the {OBS_OVERHEAD_MAX:.0%} bound"]
+    return []
+
+
+def merge_obs_results(results: dict):
+    """Fold an obs run into the tracked file (``obs`` + ``obs_series``)."""
+    series = load_results().get("obs_series", [])
+    series.append(series_entry(results["cpu_count"], {
+        "obs_conv_steps_per_second":
+            1.0 / results["conv_step"]["hooked_seconds"],
+    }))
+    return _merge_tracked_results({"obs": results, "obs_series": series})
 
 
 def run_training_benchmark() -> dict:
@@ -642,7 +721,30 @@ def main() -> None:
                              "conv/BatchNorm/leaky-ReLU training step on "
                              "the warmed cjit backend under the tape vs "
                              "the eager numpy step")
+    parser.add_argument("--obs", action="store_true",
+                        help="run the observability disabled-cost gate: the "
+                             "shipped conv training step (kernel hooks in "
+                             "place, tracing off) vs the hook-stripped "
+                             "baseline")
     args = parser.parse_args()
+
+    if args.obs:
+        results = run_obs_benchmark()
+        path = merge_obs_results(results)
+        print(json.dumps(results, indent=2))
+        print(f"merged into {path}")
+        failures = check_obs_threshold(results)
+        if failures:
+            raise SystemExit("observability overhead regression: "
+                             + "; ".join(failures))
+        alerts = check_series_regression(load_results().get("obs_series",
+                                                            []))
+        if results["cpu_count"] < GATE_MIN_CORES:
+            for alert in alerts:
+                print(f"WARNING obs series regression: {alert}")
+        elif alerts:
+            raise SystemExit("obs series regression: " + "; ".join(alerts))
+        return
 
     if args.smoke:
         smoke = run_float32_smoke()

@@ -158,3 +158,19 @@ class ConditionCache:
         return {"hits": self.hits, "misses": self.misses,
                 "merges": self.merges, "merged_entries": self.merged_entries,
                 "size": len(self)}
+
+    def publish_metrics(self, prefix: str = "channel.cache",
+                        registry: Any = None) -> Any:
+        """Publish :meth:`stats` as gauges in an observability registry.
+
+        Lands the counters under ``<prefix>.*`` in ``registry`` (the active
+        :mod:`repro.obs` registry when omitted), so traced campaigns report
+        cache effectiveness alongside kernel and fleet metrics instead of
+        through ad-hoc ``stats()`` plumbing.
+        """
+        from repro.obs import metrics as _metrics
+
+        if registry is None:
+            registry = _metrics.get_registry()
+        return _metrics.cache_registry(self, prefix=prefix,
+                                       registry=registry)

@@ -15,11 +15,14 @@ frame-error campaigns, and the figure drivers.  It guarantees:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from repro.exec.executors import Executor, build_executor
 from repro.exec.plan import MonteCarloPlan, collect_cache_bearers
 from repro.exec.reducers import Reducer
+from repro.obs import context as obs_context
+from repro.obs import trace as obs_trace
 
 __all__ = ["run_plan"]
 
@@ -59,24 +62,39 @@ def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
     backend = executor if isinstance(executor, Executor) \
         else build_executor(executor if executor is not None else "auto",
                             workers)
-    try:
-        shards = plan.shards(num_shards if num_shards is not None
-                             else backend.default_shards()
-                             * plan.shards_per_worker)
-        shard_results = sorted(backend.map_shards(shards),
-                               key=lambda result: result.index)
-    finally:
-        if owns_backend:
-            # A backend built for this one call must not leak its worker
-            # pool; caller-provided executors keep theirs for reuse.
-            backend.close()
-    if merge_caches and not backend.shares_memory:
-        parent_caches = collect_cache_bearers(plan.context)
-        for shard_result in shard_results:
-            for key, snapshot in shard_result.caches.items():
-                parent = parent_caches.get(key)
-                if parent is not None and parent is not snapshot:
-                    parent.merge(snapshot)
-    results = [result for shard_result in shard_results
-               for result in shard_result.results]
-    return reducer.reduce(results) if reducer is not None else results
+    # With tracing enabled the whole call runs under an ``exec.plan`` span
+    # and every shard is stamped with its trace context; workers' span and
+    # metric envelopes merge back below, next to the cache snapshots they
+    # are modelled on.  Disabled, plan_scope yields None and nothing else
+    # here runs.
+    with obs_context.plan_scope(plan, backend.name,
+                                backend.workers) as trace_ctx:
+        try:
+            shards = plan.shards(num_shards if num_shards is not None
+                                 else backend.default_shards()
+                                 * plan.shards_per_worker)
+            if trace_ctx is not None:
+                shards = [dataclasses.replace(shard, trace=trace_ctx)
+                          for shard in shards]
+            shard_results = sorted(backend.map_shards(shards),
+                                   key=lambda result: result.index)
+        finally:
+            if owns_backend:
+                # A backend built for this one call must not leak its worker
+                # pool; caller-provided executors keep theirs for reuse.
+                backend.close()
+        if trace_ctx is not None:
+            obs_context.merge_shard_envelopes(shard_results)
+        if merge_caches and not backend.shares_memory:
+            with obs_trace.span("exec.merge_caches"):
+                parent_caches = collect_cache_bearers(plan.context)
+                for shard_result in shard_results:
+                    for key, snapshot in shard_result.caches.items():
+                        parent = parent_caches.get(key)
+                        if parent is not None and parent is not snapshot:
+                            parent.merge(snapshot)
+        results = [result for shard_result in shard_results
+                   for result in shard_result.results]
+        with obs_trace.span("exec.reduce"):
+            return reducer.reduce(results) if reducer is not None \
+                else results

@@ -198,6 +198,11 @@ class ShardResult:
     start: int
     results: list
     caches: dict[str, ConditionCache] = field(default_factory=dict)
+    #: Observability envelope (worker-side spans + metrics snapshots) set by
+    #: :meth:`ShardSpec.run` when the spec carries a trace context and runs
+    #: outside the tracing process; merged by the engine exactly like the
+    #: cache snapshots above.  ``None`` on untraced or same-process runs.
+    obs: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +221,10 @@ class ShardSpec:
     task: Callable[..., Any]
     seed: tuple[int, ...]
     context: Mapping[str, Any]
+    #: Trace context (:class:`repro.obs.context.TraceContext`) stamped by the
+    #: engine when tracing is enabled; ``None`` otherwise.  Tiny and
+    #: picklable, so it rides the remote transport with the spec.
+    trace: Any = None
 
     def unit_rng(self, offset: int) -> np.random.Generator:
         """The generator of the unit at ``offset`` within this shard."""
@@ -240,7 +249,22 @@ class ShardSpec:
         on a pickled copy of the context) resets the cache counters first so
         the returned snapshots report this shard's activity only, then
         attaches the caches for the engine to merge back into the parent.
+
+        When the spec carries a trace context the run is wrapped in an
+        ``exec.shard`` span; in a foreign process the span/metric records
+        come back in ``ShardResult.obs`` (see :mod:`repro.obs.context`).
         """
+        if self.trace is None:
+            return self._run(collect_caches)
+        from repro.obs.context import observe_shard
+
+        with observe_shard(self) as obs_box:
+            result = self._run(collect_caches)
+        if obs_box.envelope is not None:
+            result.obs = obs_box.envelope
+        return result
+
+    def _run(self, collect_caches: bool) -> ShardResult:
         context = self.resolved_context()
         caches = collect_cache_bearers(context) if collect_caches else {}
         for cache in caches.values():

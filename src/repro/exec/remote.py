@@ -61,8 +61,24 @@ from repro.exec.transport import (
     connect,
     listen,
 )
+from repro.obs import context as obs_context
+from repro.obs import trace as obs_trace
 
 __all__ = ["RemoteExecutor", "RemoteExecutorError"]
+
+
+def _worker_label(worker: Any) -> str:
+    """A human-readable fleet-member id for trace events and notes."""
+    process = getattr(worker, "process", None)
+    if process is not None:
+        return f"pid {process.pid}"
+    address = getattr(worker, "address", None)
+    if address:
+        return str(address)
+    conn = getattr(worker, "conn", None)
+    if conn is not None:
+        return str(conn.peer)
+    return "?"
 
 
 class RemoteExecutorError(RuntimeError):
@@ -169,6 +185,8 @@ class _ShardScheduler:
                     if spec is not None:
                         self.stats["duplicates"] += 1
                         self.stats["dispatches"] += 1
+                        obs_trace.event("exec.speculate", shard=spec.index,
+                                        worker=_worker_label(worker))
                         return spec
                 self._cond.wait(timeout=max(self.straggler_wait, 0.05))
 
@@ -206,17 +224,25 @@ class _ShardScheduler:
             if result.index in self._results:
                 # A speculative duplicate finished after the winner: results
                 # are deterministic, so dropping it loses nothing — each
-                # shard is counted exactly once.
+                # shard is counted exactly once.  Its observability envelope
+                # is adopted as *abandoned* evidence: the spans land on the
+                # timeline flagged, the metrics are dropped so merged totals
+                # still count every unit exactly once.
                 self.stats["deduplicated"] += 1
+                obs_trace.event("exec.dedup", shard=result.index,
+                                worker=_worker_label(worker))
+                obs_context.adopt_abandoned(getattr(result, "obs", None))
             else:
                 self._results[result.index] = result
             self._running.pop(result.index, None)
             self._cond.notify_all()
 
     def errored(self, worker: _Worker, spec: ShardSpec,
-                error: BaseException, worker_traceback: str) -> None:
+                error: BaseException, worker_traceback: str,
+                diagnostics: dict | None = None) -> None:
         with self._cond:
-            self._record_failure(worker, spec, error, worker_traceback)
+            self._record_failure(worker, spec, error, worker_traceback,
+                                 diagnostics)
             self._cond.notify_all()
 
     def worker_lost(self, worker: _Worker, spec: ShardSpec | None,
@@ -231,6 +257,10 @@ class _ShardScheduler:
         """
         with self._cond:
             self.stats["worker_deaths"] += 1
+            obs_trace.event("exec.worker_death",
+                            worker=_worker_label(worker),
+                            shard=None if spec is None else spec.index,
+                            acked=acked)
             if spec is not None and not acked:
                 self._requeue_unacked(worker, spec)
             elif spec is not None:
@@ -250,9 +280,12 @@ class _ShardScheduler:
         self._running.pop(spec.index, None)
         self._pending.appendleft(spec)
         self.stats["unacked_redispatches"] += 1
+        obs_trace.event("exec.requeue_unacked", shard=spec.index,
+                        worker=_worker_label(worker))
 
     def _record_failure(self, worker: _Worker, spec: ShardSpec,
-                        error: BaseException, worker_traceback: str) -> None:
+                        error: BaseException, worker_traceback: str,
+                        diagnostics: dict | None = None) -> None:
         if spec.index in self._results:
             return  # another copy already delivered this shard
         entry = self._running.get(spec.index)
@@ -268,15 +301,24 @@ class _ShardScheduler:
         if len(failures) > self.max_retries:
             if self.fatal_error is None:
                 self.fatal_error = error
+                culprit = ""
+                if diagnostics:
+                    culprit = (
+                        f" [worker pid {diagnostics.get('pid')}, last span "
+                        f"{diagnostics.get('last_span')!r}]")
                 self.fatal_note = (
                     f"shard {spec.index} failed on {len(failures)} worker "
                     f"attempt(s) (retry budget {self.max_retries}); last "
-                    f"worker traceback:\n{worker_traceback}")
+                    f"worker traceback{culprit}:\n{worker_traceback}")
             self._running.pop(spec.index, None)
         else:
             self._running.pop(spec.index, None)
             self._pending.appendleft(spec)
             self.stats["retries"] += 1
+            obs_trace.event("exec.retry", shard=spec.index,
+                            attempt=len(failures),
+                            worker=_worker_label(worker),
+                            error=f"{type(error).__name__}: {error}")
 
     # -- completion --------------------------------------------------------
 
@@ -316,6 +358,11 @@ class RemoteExecutor(Executor):
     drain_timeout:
         Seconds to wait, after the run is decided, for threads still
         receiving late duplicate results before their connections are cut.
+    worker_log_dir:
+        Directory for per-worker structured JSONL logs (spawned fleet
+        only): each worker is launched with ``--log-file`` pointing at
+        ``worker-<n>.jsonl`` inside it, so even a death before the
+        handshake leaves evidence on disk.  Created if missing.
 
     The fleet persists across :func:`~repro.exec.run_plan` calls (dead
     members are replaced on the next call) and is torn down by
@@ -330,7 +377,8 @@ class RemoteExecutor(Executor):
                  hosts: list[str] | None = None, max_retries: int = 2,
                  speculate: bool = True, straggler_wait: float = 1.0,
                  max_copies: int = 2, connect_timeout: float = 10.0,
-                 drain_timeout: float = 10.0):
+                 drain_timeout: float = 10.0,
+                 worker_log_dir: str | os.PathLike | None = None):
         self.hosts = list(hosts) if hosts is not None else None
         if self.hosts is not None:
             if not self.hosts:
@@ -348,9 +396,12 @@ class RemoteExecutor(Executor):
         self.max_copies = max_copies
         self.connect_timeout = connect_timeout
         self.drain_timeout = drain_timeout
+        self.worker_log_dir = (Path(worker_log_dir)
+                               if worker_log_dir is not None else None)
         self.last_run_stats: dict[str, int] = {}
         self._workers: list[_Worker] = []
         self._listener: socket.socket | None = None
+        self._spawned = 0
 
     # -- fleet management --------------------------------------------------
 
@@ -405,11 +456,15 @@ class RemoteExecutor(Executor):
         if self._listener is None:
             self._listener = listen()
         port = self._listener.getsockname()[1]
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro.exec.worker",
-             "--connect", f"127.0.0.1:{port}",
-             "--timeout", str(self.connect_timeout)],
-            env=self._worker_env())
+        command = [sys.executable, "-m", "repro.exec.worker",
+                   "--connect", f"127.0.0.1:{port}",
+                   "--timeout", str(self.connect_timeout)]
+        if self.worker_log_dir is not None:
+            self.worker_log_dir.mkdir(parents=True, exist_ok=True)
+            self._spawned += 1
+            command += ["--log-file", str(self.worker_log_dir
+                                          / f"worker-{self._spawned}.jsonl")]
+        process = subprocess.Popen(command, env=self._worker_env())
         self._listener.settimeout(self.connect_timeout)
         try:
             client, _ = self._listener.accept()
@@ -463,6 +518,8 @@ class RemoteExecutor(Executor):
 
     def map_shards(self, shards: list[ShardSpec]) -> list[ShardResult]:
         self._ensure_fleet()
+        traced = obs_trace.is_enabled()
+        traffic_before = self._transport_totals() if traced else {}
         scheduler = _ShardScheduler(
             shards, max_retries=self.max_retries, speculate=self.speculate,
             straggler_wait=self.straggler_wait, max_copies=self.max_copies)
@@ -476,12 +533,27 @@ class RemoteExecutor(Executor):
         scheduler.wait()
         self._drain(threads)
         self.last_run_stats = dict(scheduler.stats)
+        if traced:
+            after = self._transport_totals()
+            obs_context.record_fleet_stats(
+                scheduler.stats,
+                {key: after[key] - traffic_before.get(key, 0)
+                 for key in after})
         if scheduler.fatal_error is not None:
             error = scheduler.fatal_error
             if scheduler.fatal_note and hasattr(error, "add_note"):
                 error.add_note(scheduler.fatal_note)
             raise error
         return scheduler.ordered_results()
+
+    def _transport_totals(self) -> dict[str, int]:
+        """Lifetime traffic summed over the current fleet's connections."""
+        totals = {"bytes_sent": 0, "bytes_received": 0,
+                  "messages_sent": 0, "messages_received": 0}
+        for worker in self._workers:
+            for key in totals:
+                totals[key] += getattr(worker.conn, key, 0)
+        return totals
 
     def _drain(self, threads: list[tuple[threading.Thread, _Worker]]) -> None:
         """Collect late duplicate results, then cut whatever still blocks."""
@@ -517,9 +589,10 @@ class RemoteExecutor(Executor):
                     if message[0] == "result":
                         scheduler.completed(worker, message[1])
                     elif message[0] == "error":
-                        scheduler.errored(worker, spec,
-                                          self._unpickle(message[2]),
-                                          message[3])
+                        scheduler.errored(
+                            worker, spec, self._unpickle(message[2]),
+                            message[3],
+                            message[4] if len(message) > 4 else None)
                     else:
                         raise TransportError(
                             f"unexpected {message[0]!r} message from "

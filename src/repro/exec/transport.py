@@ -94,6 +94,13 @@ class Connection:
         self._sock = sock
         self.peer = peer
         self.closed = False
+        # Lifetime traffic counters: plain int bumps, cheap enough to keep
+        # always-on.  The remote executor publishes per-run deltas into the
+        # observability registry when tracing is enabled.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
 
     @classmethod
     def from_socket(cls, sock: socket.socket, peer: str | None = None
@@ -129,6 +136,8 @@ class Connection:
             raise TransportClosedError(
                 f"connection to {self.peer} died while sending: {error}"
             ) from error
+        self.bytes_sent += _HEADER.size + len(payload)
+        self.messages_sent += 1
 
     def recv(self) -> Any:
         """Read exactly one message (blocking until it fully arrives)."""
@@ -143,7 +152,10 @@ class Connection:
                 f"frame of {length} bytes from {self.peer} exceeds the "
                 f"{_MAX_FRAME_BYTES}-byte bound; refusing a likely "
                 "desynchronized stream")
-        return pickle.loads(self._read_exact(length))
+        payload = self._read_exact(length)
+        self.bytes_received += _HEADER.size + length
+        self.messages_received += 1
+        return pickle.loads(payload)
 
     def _read_exact(self, count: int) -> bytes:
         chunks = []

@@ -31,20 +31,69 @@ back for the parent engine to merge, exactly as process-pool shards do.  A
 context holding a :class:`repro.exec.ChannelRef` cold-starts its channel
 from the on-disk model zoo here, on the worker, so the wire carries a path
 instead of a pickled model.
+
+``--log-file PATH`` appends structured JSONL events (start, connect,
+session, per-shard, errors) to ``PATH``.  The ``start`` event is written
+*before* the dial-back connect, so a worker that dies pre-handshake — a
+broken environment, an import error, an unreachable parent — still leaves
+evidence on disk where previously it vanished silently.  Error-level
+events are additionally mirrored to stderr as single JSON lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pickle
 import sys
+import time
 import traceback
 from typing import Any, Mapping
 
 from repro.exec import transport
 
-__all__ = ["serve_connection", "main"]
+__all__ = ["WorkerLog", "serve_connection", "main"]
+
+
+class WorkerLog:
+    """Structured JSONL event log for one worker process.
+
+    Every event goes to the log file (when one was given); ``error``-level
+    events also go to stderr so a parentless death is visible in the
+    spawning terminal / CI log without the file in hand.  With no path this
+    degrades to the legacy behaviour: errors on stderr, nothing else.
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def log(self, event: str, *, level: str = "info", **fields: Any) -> None:
+        record = {"ts": time.time(), "pid": os.getpid(), "level": level,
+                  "event": event, **fields}
+        line = json.dumps(record, default=str)
+        if self._file is not None:
+            try:
+                self._file.write(line + "\n")
+                self._file.flush()
+            except OSError:  # pragma: no cover - disk full / file yanked
+                pass
+        if level == "error":
+            print(f"repro-exec-worker: {line}", file=sys.stderr, flush=True)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _last_span_name() -> str | None:
+    """The most recent span the in-process tracer entered, if obs is live."""
+    trace_mod = sys.modules.get("repro.obs.trace")
+    if trace_mod is None:
+        return None
+    return trace_mod.last_span_name()
 
 
 def _apply_init(options: Mapping[str, Any]) -> None:
@@ -107,29 +156,44 @@ def _pickled_exception(error: BaseException) -> bytes:
             RuntimeError(f"{type(error).__name__}: {error}"))
 
 
-def serve_connection(conn: transport.Connection) -> None:
+def _error_diagnostics() -> dict[str, Any]:
+    """Who failed and where: rides as the error message's fifth element.
+
+    The parent folds these into the retry-exhaustion note, so the operator
+    learns *which* worker gave up and what it was last doing without
+    hunting through per-worker log files.
+    """
+    return {"pid": os.getpid(), "last_span": _last_span_name()}
+
+
+def serve_connection(conn: transport.Connection,
+                     log: WorkerLog | None = None) -> None:
     """Run one parent session over an established connection."""
+    if log is None:
+        log = WorkerLog()
     conn.send(("hello", {"pid": os.getpid(),
                          "protocol": transport.PROTOCOL_VERSION}))
+    log.log("session_start", peer=conn.peer)
     while True:
         try:
             message = conn.recv()
         except transport.TransportClosedError:
+            log.log("session_end", peer=conn.peer, reason="closed")
             return
         except transport.TransportError as error:
             # Bad magic / oversized frame: the stream is desynchronized and
             # nothing further on it can be trusted — end the session (the
             # parent sees the close as a worker loss and re-queues).
-            print(f"repro-exec-worker: desynchronized stream: {error}",
-                  file=sys.stderr, flush=True)
+            log.log("desynchronized_stream", level="error", error=str(error))
             return
         except Exception as error:
             # The frame arrived but its payload would not unpickle (e.g. a
             # task module this worker cannot import).  The framing is
             # intact, so report and keep the session alive; the parent
             # retries the shard elsewhere.
+            log.log("unpicklable_frame", level="error", error=str(error))
             conn.send(("error", None, _pickled_exception(error),
-                       traceback.format_exc()))
+                       traceback.format_exc(), _error_diagnostics()))
             continue
         kind = message[0]
         if kind == "init":
@@ -137,22 +201,29 @@ def serve_connection(conn: transport.Connection) -> None:
         elif kind == "ping":
             conn.send(("pong",))
         elif kind == "shutdown":
+            log.log("session_end", peer=conn.peer, reason="shutdown")
             return
         elif kind == "shard":
             spec = message[1]
             conn.send(("ack", spec.index))
+            log.log("shard_start", shard=spec.index, units=len(spec.units),
+                    traced=spec.trace is not None)
             try:
                 result = spec.run(collect_caches=True)
             except BaseException as error:
+                log.log("shard_error", level="error", shard=spec.index,
+                        error=f"{type(error).__name__}: {error}",
+                        last_span=_last_span_name())
                 conn.send(("error", spec.index, _pickled_exception(error),
-                           traceback.format_exc()))
+                           traceback.format_exc(), _error_diagnostics()))
             else:
+                log.log("shard_done", shard=spec.index)
                 conn.send(("result", result))
         else:
             conn.send(("error", None,
                        _pickled_exception(
                            RuntimeError(f"unknown message kind {kind!r}")),
-                       ""))
+                       "", _error_diagnostics()))
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -170,44 +241,66 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--once", action="store_true",
                         help="exit after the first parent session "
                              "(--serve mode)")
+    parser.add_argument("--log-file", metavar="PATH",
+                        help="append structured JSONL events to PATH "
+                             "(written from process start, so even a "
+                             "pre-handshake death leaves evidence)")
     args = parser.parse_args(argv)
 
-    if args.connect:
-        conn = transport.connect(args.connect, timeout=args.timeout)
-        try:
-            serve_connection(conn)
-        except transport.TransportError:
-            pass  # the parent went away; a dial-back worker just exits
-        finally:
-            conn.close()
-        return
-
-    host, port = transport.parse_address(args.serve)
-    sock = transport.listen(host, port)
-    host, port = sock.getsockname()[:2]
-    # Machine-readable so launch scripts (and tests) can discover the port
-    # when --serve was given port 0.
-    print(f"repro-exec-worker listening on {host}:{port}", flush=True)
+    log = WorkerLog(args.log_file)
+    # Logged before any connect: a worker that dies dialing in (or even
+    # importing the plan's modules) is otherwise indistinguishable from one
+    # that never started.
+    log.log("start", argv=list(argv) if argv is not None else sys.argv[1:])
     try:
-        while True:
-            client, _ = sock.accept()
-            conn = transport.Connection.from_socket(client)
+        if args.connect:
             try:
-                serve_connection(conn)
+                conn = transport.connect(args.connect, timeout=args.timeout)
             except transport.TransportError as error:
-                # The parent vanished mid-session (crash, severed straggler
-                # connection).  A persistent server outlives its parents:
-                # log and accept the next one.
-                print(f"repro-exec-worker: parent session died: {error}",
-                      file=sys.stderr, flush=True)
+                log.log("connect_failed", level="error",
+                        address=args.connect, error=str(error))
+                raise SystemExit(1)
+            log.log("connected", address=args.connect)
+            try:
+                serve_connection(conn, log)
+            except transport.TransportError as error:
+                # The parent went away; a dial-back worker just exits.
+                log.log("parent_lost", peer=conn.peer, error=str(error))
             finally:
                 conn.close()
-            if args.once:
-                return
-    except KeyboardInterrupt:  # pragma: no cover - operator shutdown
-        pass
+            log.log("exit")
+            return
+
+        host, port = transport.parse_address(args.serve)
+        sock = transport.listen(host, port)
+        host, port = sock.getsockname()[:2]
+        # Machine-readable so launch scripts (and tests) can discover the
+        # port when --serve was given port 0.
+        print(f"repro-exec-worker listening on {host}:{port}", flush=True)
+        log.log("listening", address=f"{host}:{port}")
+        try:
+            while True:
+                client, _ = sock.accept()
+                conn = transport.Connection.from_socket(client)
+                try:
+                    serve_connection(conn, log)
+                except transport.TransportError as error:
+                    # The parent vanished mid-session (crash, severed
+                    # straggler connection).  A persistent server outlives
+                    # its parents: log and accept the next one.
+                    log.log("parent_lost", level="error", peer=conn.peer,
+                            error=str(error))
+                finally:
+                    conn.close()
+                if args.once:
+                    log.log("exit")
+                    return
+        except KeyboardInterrupt:  # pragma: no cover - operator shutdown
+            pass
+        finally:
+            sock.close()
     finally:
-        sock.close()
+        log.close()
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ Usage mirrors the channel registry::
 from __future__ import annotations
 
 import contextlib
+import functools
 import threading
 
 import numpy as np
@@ -50,7 +51,75 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "KERNEL_PROFILER",
+    "set_kernel_profiler",
+    "profiled_kernel",
+    "strip_kernel_hooks",
 ]
+
+
+#: Kernel-profiling slot filled by :mod:`repro.obs` while tracing is enabled
+#: (a :class:`repro.obs.trace.KernelProfiler`).  ``None`` means profiling is
+#: off, and the per-kernel hook below is a single global load + ``None``
+#: check — the near-zero disabled cost the obs tests pin.  A module global
+#: (not per-backend state) so the realizer and every backend subclass share
+#: one switch without importing :mod:`repro.obs`.
+KERNEL_PROFILER = None
+
+
+def set_kernel_profiler(profiler):
+    """Install (or clear, with ``None``) the kernel profiler.
+
+    Returns the previous profiler so scoped users can restore it.  The
+    profiler only needs ``enter() -> token | None`` / ``exit(name, token)``
+    (and ``phase_enter``/``phase_exit`` for the realize-barrier timings).
+    """
+    global KERNEL_PROFILER
+    previous = KERNEL_PROFILER
+    KERNEL_PROFILER = profiler
+    return previous
+
+
+def profiled_kernel(name: str):
+    """Wrap a backend kernel with the per-kernel wall-time hook.
+
+    With no profiler installed the wrapper adds one global load and one
+    ``None`` check.  With one installed, the outermost kernel call on each
+    thread is timed into the active metrics registry's ``nn.kernel.<name>``
+    histogram — re-entrant calls (a cjit fallback delegating to the numpy
+    base implementation) are deliberately not double-counted.
+    """
+    def decorator(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            profiler = KERNEL_PROFILER
+            if profiler is None:
+                return fn(self, *args, **kwargs)
+            token = profiler.enter()
+            if token is None:
+                return fn(self, *args, **kwargs)
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                profiler.exit(name, token)
+        wrapper._profiled_kernel = name
+        return wrapper
+    return decorator
+
+
+def strip_kernel_hooks(backend: "ArrayBackend") -> "ArrayBackend":
+    """Bind the undecorated kernel implementations onto ``backend``.
+
+    This reconstructs the pre-observability code path (no wrapper frame, no
+    profiler check at all) on one instance; the overhead benchmark uses it
+    as the baseline the disabled-mode ≤2% gate compares against.
+    """
+    cls = type(backend)
+    for attr in dir(cls):
+        fn = getattr(cls, attr, None)
+        if callable(fn) and getattr(fn, "_profiled_kernel", None) is not None:
+            setattr(backend, attr, fn.__wrapped__.__get__(backend, cls))
+    return backend
 
 
 class BufferArena:
@@ -160,8 +229,29 @@ class ArrayBackend:
         }
 
     def fusion_stats(self) -> dict[str, int]:
-        """Snapshot of the lazy-graph fusion/realization counters."""
-        return dict(self.fusion_counters)
+        """Snapshot of the lazy-graph fusion/realization counters.
+
+        The values are published to (and read back from) a
+        :class:`repro.obs.metrics.MetricsRegistry` under ``nn.fusion.*`` —
+        the unified stats surface — so this dict is now a compatibility view
+        over the registry, same numbers, same keys.
+        """
+        from repro.obs.metrics import backend_registry
+
+        snapshot = backend_registry(self).snapshot()
+        return {key: int(snapshot[f"nn.fusion.{key}"]["value"])
+                for key in self.fusion_counters}
+
+    def stats(self) -> dict[str, dict]:
+        """Deprecated ad-hoc stats surface, kept as a thin registry view.
+
+        Returns the full :func:`repro.obs.metrics.backend_registry` snapshot
+        (``nn.fusion.*``, ``nn.arena.*`` and — on compiled backends —
+        ``nn.cjit.*``).  New code should use the registry directly.
+        """
+        from repro.obs.metrics import backend_registry
+
+        return backend_registry(self).snapshot()
 
     def scratch_out(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An output buffer for a kernel intermediate that dies with the
@@ -177,6 +267,7 @@ class ArrayBackend:
     # ------------------------------------------------------------------ #
     # Linear algebra
     # ------------------------------------------------------------------ #
+    @profiled_kernel("matmul")
     def matmul(self, a: np.ndarray, b: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
         return np.matmul(a, b, out=out)
@@ -184,6 +275,7 @@ class ArrayBackend:
     # ------------------------------------------------------------------ #
     # Convolution lowering
     # ------------------------------------------------------------------ #
+    @profiled_kernel("im2col")
     def im2col(self, x: np.ndarray, kernel: int, stride: int, padding: int,
                scratch: bool = False) -> np.ndarray:
         """Lower an NCHW array into ``(N, C*K*K, H_out*W_out)`` columns.
@@ -210,6 +302,7 @@ class ArrayBackend:
                 cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
         return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
 
+    @profiled_kernel("im2col_into")
     def im2col_into(self, x: np.ndarray, cols6: np.ndarray, c_offset: int,
                     kernel: int, stride: int, padding: int) -> None:
         """Write ``x``'s im2col columns into a channel slice of ``cols6``.
@@ -234,6 +327,7 @@ class ArrayBackend:
                 view[:, :, i, j, :, :] = x[:, :, i:i_end:stride,
                                            j:j_end:stride]
 
+    @profiled_kernel("expand_cols_into")
     def expand_cols_into(self, values: np.ndarray, cols6: np.ndarray,
                          c_offset: int, height: int, width: int,
                          kernel: int, stride: int, padding: int) -> None:
@@ -265,6 +359,7 @@ class ArrayBackend:
                 if cols_bad.any():
                     target[:, :, i, j, :, cols_bad] = 0
 
+    @profiled_kernel("col2im")
     def col2im(self, cols: np.ndarray,
                input_shape: tuple[int, int, int, int],
                kernel: int, stride: int, padding: int) -> np.ndarray:
@@ -309,6 +404,7 @@ class ArrayBackend:
     # ------------------------------------------------------------------ #
     # Fused elementwise stage chains (lazy-graph realization)
     # ------------------------------------------------------------------ #
+    @profiled_kernel("fused_elementwise")
     def fused_elementwise(self, x: np.ndarray, stages: list[tuple],
                           inplace: bool = False) -> np.ndarray:
         """Apply a recorded elementwise stage chain in one pass over ``x``.
@@ -387,6 +483,7 @@ class ArrayBackend:
     # ------------------------------------------------------------------ #
     # Fused backward kernels (training-path tape realization)
     # ------------------------------------------------------------------ #
+    @profiled_kernel("fused_elementwise_bwd")
     def fused_elementwise_bwd(self, grad: np.ndarray, stages: list[tuple],
                               output: np.ndarray,
                               inplace: bool = False) -> np.ndarray:
@@ -462,6 +559,7 @@ class ArrayBackend:
                     f"stage kind {kind!r} has no multiplier backward")
         return buf
 
+    @profiled_kernel("bn_bwd_reductions")
     def bn_bwd_reductions(self, grad: np.ndarray, x: np.ndarray,
                           mean: np.ndarray,
                           invstd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -483,6 +581,7 @@ class ArrayBackend:
         sum_gx = buf.sum(axis=(0, 2, 3))
         return sum_g, sum_gx
 
+    @profiled_kernel("bn_bwd_dx")
     def bn_bwd_dx(self, grad: np.ndarray, x: np.ndarray, s1: np.ndarray,
                   s2: np.ndarray, s3: np.ndarray) -> np.ndarray:
         """Train-mode BatchNorm input gradient ``g·s1 + x·s2 + s3``.
@@ -535,6 +634,7 @@ class ArrayBackend:
     def clip_inplace(self, array: np.ndarray, low: float, high: float) -> None:
         np.clip(array, low, high, out=array)
 
+    @profiled_kernel("sgd_update")
     def sgd_update(self, param: np.ndarray, grad: np.ndarray,
                    velocity: np.ndarray | None, lr: float, momentum: float,
                    weight_decay: float) -> None:
@@ -549,6 +649,7 @@ class ArrayBackend:
             update = grad
         param -= param.dtype.type(lr) * update
 
+    @profiled_kernel("adam_update")
     def adam_update(self, param: np.ndarray, grad: np.ndarray,
                     m: np.ndarray, v: np.ndarray, lr: float,
                     beta1: float, beta2: float, eps: float,
@@ -712,26 +813,33 @@ def _report_fusion_stats(canonical, cache_dir) -> None:
             out = out.leaky_relu(0.2)
             (out * out).mean().backward()
 
+    # Both reports read through the unified obs metrics registry
+    # (``nn.fusion.*`` / ``nn.arena.*`` gauges) rather than the per-backend
+    # dicts; the printed format is unchanged (CI greps assert it).
+    from repro.obs.metrics import backend_registry
+
     names = ["numpy"] + (["cjit"] if cjit_available() else [])
     for name in names:
         kwargs = {"cache_dir": cache_dir} if name == "cjit" else {}
         backend_obj = canonical.build_backend(name, **kwargs)
         probe(backend_obj)
-        stats = backend_obj.fusion_stats()
+        registry = backend_registry(backend_obj)
         print(f"{name} fusion stats: "
-              + ", ".join(f"{key}={value}" for key, value in stats.items()))
+              + ", ".join(f"{key}={registry.gauge(f'nn.fusion.{key}').value}"
+                          for key in backend_obj.fusion_counters))
     # Training-path counters come from *fresh* instances so the sampling
     # probe's counts above stay untouched (CI greps assert both lines).
     for name in names:
         kwargs = {"cache_dir": cache_dir} if name == "cjit" else {}
         backend_obj = canonical.build_backend(name, **kwargs)
         train_probe(backend_obj)
-        stats = backend_obj.fusion_stats()
+        registry = backend_registry(backend_obj)
         keys = ("train_fwd_chains", "train_fwd_stages", "train_bwd_kernels",
                 "fallbacks")
-        arena_peak = backend_obj.arena.stats()["peak_bytes"]
+        arena_peak = registry.gauge("nn.arena.peak_bytes").value
         print(f"{name} train fusion stats: "
-              + ", ".join(f"{key}={stats[key]}" for key in keys)
+              + ", ".join(f"{key}={registry.gauge(f'nn.fusion.{key}').value}"
+                          for key in keys)
               + f", arena_peak_bytes={arena_peak}")
 
 

@@ -31,7 +31,8 @@ import os
 
 import numpy as np
 
-from repro.nn.backend import NumpyBackend
+from repro.nn import backend as _base
+from repro.nn.backend import NumpyBackend, profiled_kernel
 from repro.nn.cjit.compiler import (
     KernelCompileError,
     compile_source,
@@ -157,7 +158,16 @@ class CJitBackend(NumpyBackend):
     def _compile_entry(self, spec: KernelSpec, source: str, source_sha: str,
                        key: str):
         target = self.cache.object_path(key)
-        compile_source(source, target, self.compiler)
+        # Compiles are the dominant cold-start cost; with profiling on they
+        # land in the ``nn.phase.cjit_compile`` histogram (the phase channel
+        # — a compile can trigger mid-kernel, inside a timed region).
+        profiler = _base.KERNEL_PROFILER
+        token = profiler.phase_enter() if profiler is not None else None
+        try:
+            compile_source(source, target, self.compiler)
+        finally:
+            if token is not None:
+                profiler.phase_exit("cjit_compile", token)
         self.compiled += 1
         return self.cache.store(key, target, source_sha256=source_sha,
                                 symbol=spec.symbol,
@@ -188,6 +198,7 @@ class CJitBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     # Convolution lowering
     # ------------------------------------------------------------------ #
+    @profiled_kernel("im2col")
     def im2col(self, x: np.ndarray, kernel: int, stride: int, padding: int,
                scratch: bool = False) -> np.ndarray:
         dtype = self._dtype_name(x)
@@ -206,6 +217,7 @@ class CJitBackend(NumpyBackend):
         fn(_ptr(x), _ptr(cols), batch, channels, height, width, out_h, out_w)
         return cols.reshape(batch, channels * kernel * kernel, out_h * out_w)
 
+    @profiled_kernel("col2im")
     def col2im(self, cols: np.ndarray,
                input_shape: tuple[int, int, int, int],
                kernel: int, stride: int, padding: int) -> np.ndarray:
@@ -227,6 +239,7 @@ class CJitBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     # Optional BLAS-free tiled matmul
     # ------------------------------------------------------------------ #
+    @profiled_kernel("matmul")
     def matmul(self, a: np.ndarray, b: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
         if not self.c_matmul:
@@ -264,6 +277,7 @@ class CJitBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     # Elementwise
     # ------------------------------------------------------------------ #
+    @profiled_kernel("leaky_relu")
     def leaky_relu(self, x: np.ndarray, negative_slope: float) -> np.ndarray:
         dtype = self._dtype_name(x)
         fn = self._kernel(elementwise_spec("leaky_relu", dtype)) \
@@ -281,6 +295,7 @@ class CJitBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     _CHANNEL_STAGE_CODES = ("b", "a")
 
+    @profiled_kernel("fused_elementwise")
     def fused_elementwise(self, x: np.ndarray, stages: list[tuple],
                           inplace: bool = False) -> np.ndarray:
         """Run a fused stage chain through one generated C kernel.
@@ -350,6 +365,7 @@ class CJitBackend(NumpyBackend):
 
     _BWD_OUTPUT_KINDS = ("leaky_relu", "relu", "tanh", "sigmoid")
 
+    @profiled_kernel("fused_elementwise_bwd")
     def fused_elementwise_bwd(self, grad: np.ndarray, stages: list[tuple],
                               output: np.ndarray,
                               inplace: bool = False) -> np.ndarray:
@@ -408,6 +424,7 @@ class CJitBackend(NumpyBackend):
         fn(*args)
         return out
 
+    @profiled_kernel("bn_bwd_dx")
     def bn_bwd_dx(self, grad: np.ndarray, x: np.ndarray, s1: np.ndarray,
                   s2: np.ndarray, s3: np.ndarray) -> np.ndarray:
         """Compiled train-mode BatchNorm input gradient (one pass)."""
@@ -434,6 +451,7 @@ class CJitBackend(NumpyBackend):
            g.shape[2] * g.shape[3], _ptr(s1c), _ptr(s2c), _ptr(s3c))
         return out
 
+    @profiled_kernel("im2col_into")
     def im2col_into(self, x: np.ndarray, cols6: np.ndarray, c_offset: int,
                     kernel: int, stride: int, padding: int) -> None:
         dtype = self._dtype_name(x, cols6)
@@ -456,6 +474,7 @@ class CJitBackend(NumpyBackend):
         fn(_ptr(x), _ptr(cols6), batch, channels, height, width,
            out_h, out_w, cols6.shape[1], int(c_offset))
 
+    @profiled_kernel("expand_cols_into")
     def expand_cols_into(self, values: np.ndarray, cols6: np.ndarray,
                          c_offset: int, height: int, width: int,
                          kernel: int, stride: int, padding: int) -> None:
@@ -523,6 +542,7 @@ class CJitBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     # In-place parameter updates (bit-identical to the NumPy sequence)
     # ------------------------------------------------------------------ #
+    @profiled_kernel("sgd_update")
     def sgd_update(self, param: np.ndarray, grad: np.ndarray,
                    velocity: np.ndarray | None, lr: float, momentum: float,
                    weight_decay: float) -> None:
@@ -541,6 +561,7 @@ class CJitBackend(NumpyBackend):
            param.size, float(lr), float(momentum), float(weight_decay),
            1 if velocity is not None else 0)
 
+    @profiled_kernel("adam_update")
     def adam_update(self, param: np.ndarray, grad: np.ndarray,
                     m: np.ndarray, v: np.ndarray, lr: float,
                     beta1: float, beta2: float, eps: float,
@@ -564,12 +585,22 @@ class CJitBackend(NumpyBackend):
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, object]:
-        """Compile/cache counters plus the cache's own entry stats."""
+        """Compile/cache counters plus the cache's own entry stats.
+
+        The numeric counters are read back through the unified obs metrics
+        registry (``nn.cjit.*`` gauges, see
+        :func:`repro.obs.metrics.backend_registry`); the dict shape is the
+        legacy surface kept for the CLI and benchmarks.
+        """
+        from repro.obs.metrics import backend_registry
+
+        snapshot = backend_registry(self).snapshot()
         return {
             "compiler": self.compiler.version if self.compiler else None,
             "kernels_loaded": len(self._functions),
-            "compiled": int(self.compiled),
-            "fallbacks": int(self.fallbacks),
-            "cache": self.cache.stats(),
+            "compiled": int(snapshot["nn.cjit.compiled"]["value"]),
+            "fallbacks": int(snapshot["nn.cjit.fallbacks"]["value"]),
+            "cache": {key: int(snapshot[f"nn.cjit.cache.{key}"]["value"])
+                      for key in self.cache.stats()},
             "c_matmul": self.c_matmul,
         }

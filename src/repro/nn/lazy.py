@@ -56,6 +56,7 @@ import threading
 
 import numpy as np
 
+from repro.nn import backend as _backend_mod
 from repro.nn.backend import get_backend
 
 __all__ = [
@@ -237,9 +238,28 @@ def stage(src: LazyOp, kind: str, params: tuple = ()) -> LazyOp:
 # Realization
 # --------------------------------------------------------------------- #
 def realize(node: LazyOp) -> np.ndarray:
-    """The materialized value of ``node`` (computed once, then cached)."""
+    """The materialized value of ``node`` (computed once, then cached).
+
+    With kernel profiling enabled (:mod:`repro.obs`), each outermost
+    realization barrier — the recursive descent that lowers a recorded
+    subgraph through the backend — is timed into the ``nn.phase.realize``
+    histogram; the kernels it dispatches report individually under
+    ``nn.kernel.*``.  Disabled, the hook is one global load + ``None``
+    check.
+    """
     if node.value is None:
-        node.value = _compute(node)
+        profiler = _backend_mod.KERNEL_PROFILER
+        if profiler is None:
+            node.value = _compute(node)
+        else:
+            token = profiler.phase_enter()
+            if token is None:
+                node.value = _compute(node)
+            else:
+                try:
+                    node.value = _compute(node)
+                finally:
+                    profiler.phase_exit("realize", token)
     return node.value
 
 
