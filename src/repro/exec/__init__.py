@@ -6,7 +6,8 @@ frame-error campaigns, the figure drivers — runs through this package:
 1. describe the sweep as a :class:`MonteCarloPlan` (a picklable task over
    independent units plus a seed and shared context);
 2. pick an execution backend by name via :func:`build_executor`
-   (``"serial"``, ``"thread"``, ``"process"``, ``"remote"``, or ``"auto"``);
+   (``"serial"``, ``"thread"``, ``"process"``, ``"async"``, ``"remote"``,
+   or ``"auto"``);
 3. :func:`run_plan` shards the units, runs them, folds worker cache entries
    back into the parent, and reduces the per-unit results with a mergeable
    :class:`Reducer`.
@@ -33,6 +34,7 @@ from repro.exec.reducers import (
 )
 from repro.exec.executors import (
     EXECUTOR_REGISTRY,
+    AsyncExecutor,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -45,6 +47,7 @@ from repro.exec.transport import (
     TransportClosedError,
     TransportConnectError,
     TransportError,
+    TransportTimeoutError,
 )
 from repro.exec.engine import run_plan
 
@@ -63,11 +66,13 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AsyncExecutor",
     "RemoteExecutor",
     "RemoteExecutorError",
     "TransportError",
     "TransportConnectError",
     "TransportClosedError",
+    "TransportTimeoutError",
     "EXECUTOR_REGISTRY",
     "register_executor",
     "build_executor",

@@ -76,8 +76,11 @@ def run_plan(plan: MonteCarloPlan, reducer: Reducer | None = None,
             if trace_ctx is not None:
                 shards = [dataclasses.replace(shard, trace=trace_ctx)
                           for shard in shards]
+            # Ordered by first-unit position, not shard index: the remote
+            # backend's work stealing splits shards mid-run, and stolen
+            # tails carry fresh indices past the original range.
             shard_results = sorted(backend.map_shards(shards),
-                                   key=lambda result: result.index)
+                                   key=lambda result: result.start)
         finally:
             if owns_backend:
                 # A backend built for this one call must not leak its worker

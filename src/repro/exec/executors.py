@@ -13,7 +13,11 @@ plumbing.  Four backends exist:
 * ``"remote"`` — a worker fleet over the socket transport
   (:class:`repro.exec.RemoteExecutor`): spawned localhost subprocesses by
   default, or pre-started ``python -m repro.exec.worker --serve`` hosts,
-  with per-shard acknowledgement, bounded retry and straggler re-dispatch.
+  with per-shard acknowledgement, bounded retry, work stealing, heartbeats
+  and straggler re-dispatch;
+* ``"async"`` — an :mod:`asyncio` event loop running shards concurrently
+  in one process, for sweeps whose units await external I/O (service
+  calls, object-store checkpoint reads) rather than burning local CPU.
 
 ``"auto"`` picks ``"serial"`` for one worker and ``"process"`` otherwise.
 Because plan randomness is anchored per unit, every backend produces
@@ -31,7 +35,8 @@ from typing import Callable
 from repro.exec.plan import ShardResult, ShardSpec
 
 __all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
-           "EXECUTOR_REGISTRY", "register_executor", "build_executor"]
+           "AsyncExecutor", "EXECUTOR_REGISTRY", "register_executor",
+           "build_executor"]
 
 
 class Executor:
@@ -114,23 +119,36 @@ class ThreadExecutor(Executor):
             self._pool = None
 
 
-def _run_shard_isolated(shard: ShardSpec) -> ShardResult:
-    """Thread-pool entry point: run on a private copy of the context."""
-    from repro.exec.plan import ChannelRef
-
+def _isolated_copy(shard: ShardSpec) -> ShardSpec:
+    """The shard with a private deep copy of its context (if it has one)."""
     if len(shard.context) > 0:
         shard = dataclasses.replace(shard,
                                     context=copy.deepcopy(shard.context))
-    result = shard.run(collect_caches=True)
+    return shard
+
+
+def _snapshot_ref_caches(shard: ShardSpec, result: ShardResult) -> None:
+    """Snapshot caches of :class:`ChannelRef`-bearing shards in place.
+
+    ChannelRef resolution is shared per *thread*, so a later shard on the
+    same thread (pool thread, or the async loop's single thread) would
+    reset/mutate the very cache object this result references (process
+    workers are insulated by pickling).  Snapshot copies keep every
+    ShardResult self-consistent for the engine's merge.
+    """
+    from repro.exec.plan import ChannelRef
+
     if any(isinstance(value, ChannelRef)
            for value in shard.context.values()):
-        # ChannelRef resolution is shared per pool *thread*, so a later
-        # shard on this thread would reset/mutate the very cache object
-        # this result references (process workers are insulated by
-        # pickling).  Snapshot copies keep every ShardResult
-        # self-consistent for the engine's merge.
         result.caches = {key: copy.deepcopy(cache)
                          for key, cache in result.caches.items()}
+
+
+def _run_shard_isolated(shard: ShardSpec) -> ShardResult:
+    """Thread-pool entry point: run on a private copy of the context."""
+    isolated = _isolated_copy(shard)
+    result = isolated.run(collect_caches=True)
+    _snapshot_ref_caches(shard, result)
     return result
 
 
@@ -170,6 +188,57 @@ class ProcessExecutor(Executor):
             self._pool = None
 
 
+class AsyncExecutor(Executor):
+    """Run shards concurrently on an :mod:`asyncio` event loop.
+
+    For sweeps whose units spend their time *awaiting* — remote inference
+    calls, object-store checkpoint reads — not computing: a task may return
+    a coroutine (awaited per unit, in unit order), and up to ``workers``
+    shards are in flight at once, bounded by a semaphore.  Plain synchronous
+    tasks also work (each shard then runs without ever yielding the loop),
+    so the conformance contract — bit-identical to serial — holds for both.
+
+    Shards interleave on one thread, so each runs against a private deep
+    copy of the context, exactly like the thread pool; the engine merges the
+    per-shard cache snapshots back.  Note that because all shards share the
+    thread, tracing spans of concurrently awaiting shards may interleave —
+    the obs battery therefore exercises this backend for metrics, not span
+    nesting.
+    """
+
+    name = "async"
+    shares_memory = False
+
+    def map_shards(self, shards: list[ShardSpec]) -> list[ShardResult]:
+        import asyncio
+
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise RuntimeError(
+                "AsyncExecutor.map_shards cannot run inside an active "
+                "asyncio event loop; await the plan's shards directly or "
+                "run the plan from synchronous code")
+        return asyncio.run(self._map(shards))
+
+    async def _map(self, shards: list[ShardSpec]) -> list[ShardResult]:
+        import asyncio
+
+        gate = asyncio.Semaphore(self.workers)
+
+        async def run_one(shard: ShardSpec) -> ShardResult:
+            async with gate:
+                isolated = _isolated_copy(shard)
+                result = await isolated.run_async(collect_caches=True)
+                _snapshot_ref_caches(shard, result)
+                return result
+
+        return list(await asyncio.gather(*(run_one(shard)
+                                           for shard in shards)))
+
+
 #: Executor classes keyed by backend name (mirrors ``CHANNEL_REGISTRY``).
 EXECUTOR_REGISTRY: dict[str, Callable[..., Executor]] = {}
 
@@ -187,6 +256,7 @@ def register_executor(name: str):
 register_executor("serial")(SerialExecutor)
 register_executor("thread")(ThreadExecutor)
 register_executor("process")(ProcessExecutor)
+register_executor("async")(AsyncExecutor)
 # "remote" registers itself at the bottom of repro.exec.remote (which
 # imports this module, so the registration cannot live here); the package
 # __init__ imports both, keeping the registry complete for any consumer.

@@ -232,6 +232,24 @@ class ShardSpec:
             self.seed, spawn_key=(self.start + offset,))
         return np.random.default_rng(sequence)
 
+    def subspec(self, lo: int, hi: int, index: int | None = None
+                ) -> "ShardSpec":
+        """A spec covering units ``[lo, hi)`` of this shard.
+
+        The work-stealing scheduler splits an in-flight shard by cutting its
+        unexecuted tail into a new spec.  Global unit positions are preserved
+        (``start`` shifts by ``lo``), so per-unit seeding — and therefore the
+        reduced output — is identical under any split schedule.
+        """
+        if not 0 <= lo <= hi <= len(self.units):
+            raise ValueError(
+                f"subspec bounds [{lo}, {hi}) outside shard of "
+                f"{len(self.units)} units")
+        return ShardSpec(index=self.index if index is None else index,
+                         start=self.start + lo, units=self.units[lo:hi],
+                         task=self.task, seed=self.seed, context=self.context,
+                         trace=self.trace)
+
     def resolved_context(self) -> Mapping[str, Any]:
         """The context with every :class:`ChannelRef` replaced by its live
         backend (cold-started from the on-disk zoo on first use)."""
@@ -242,35 +260,83 @@ class ShardSpec:
                 else value
                 for key, value in self.context.items()}
 
-    def run(self, collect_caches: bool = False) -> ShardResult:
-        """Execute every unit of this shard in order.
+    def run(self, collect_caches: bool = False,
+            control: Any = None) -> ShardResult:
+        """Execute the units of this shard in order.
 
         ``collect_caches=True`` (used by process executors, whose shard runs
         on a pickled copy of the context) resets the cache counters first so
         the returned snapshots report this shard's activity only, then
         attaches the caches for the engine to merge back into the parent.
 
+        ``control`` is an optional cooperation hook for the elastic worker:
+        an object with ``stop_before(offset) -> bool`` (consulted before each
+        unit — returning True ends the run early, e.g. because the tail was
+        stolen) and ``completed(offset)`` (called after each unit, feeding
+        heartbeat progress).  A truncated run returns only the units actually
+        executed; callers own reconciling that with the stolen boundary.
+
         When the spec carries a trace context the run is wrapped in an
         ``exec.shard`` span; in a foreign process the span/metric records
         come back in ``ShardResult.obs`` (see :mod:`repro.obs.context`).
         """
         if self.trace is None:
-            return self._run(collect_caches)
+            return self._run(collect_caches, control)
         from repro.obs.context import observe_shard
 
         with observe_shard(self) as obs_box:
-            result = self._run(collect_caches)
+            result = self._run(collect_caches, control)
         if obs_box.envelope is not None:
             result.obs = obs_box.envelope
         return result
 
-    def _run(self, collect_caches: bool) -> ShardResult:
+    async def run_async(self, collect_caches: bool = False) -> ShardResult:
+        """Like :meth:`run`, awaiting any awaitable the task returns.
+
+        Used by the ``async`` executor for sweeps whose units spend their
+        time in external I/O.  A synchronous task behaves exactly as under
+        :meth:`run`; a coroutine-returning task is awaited per unit, in unit
+        order, so the result list is identical either way.
+        """
+        if self.trace is None:
+            return await self._run_async(collect_caches)
+        from repro.obs.context import observe_shard
+
+        with observe_shard(self) as obs_box:
+            result = await self._run_async(collect_caches)
+        if obs_box.envelope is not None:
+            result.obs = obs_box.envelope
+        return result
+
+    def _prepare(self, collect_caches: bool):
         context = self.resolved_context()
         caches = collect_cache_bearers(context) if collect_caches else {}
         for cache in caches.values():
             cache.reset_stats()
-        results = [self.task(unit, self.unit_rng(offset), **context)
-                   for offset, unit in enumerate(self.units)]
+        return context, caches
+
+    def _run(self, collect_caches: bool, control: Any = None) -> ShardResult:
+        context, caches = self._prepare(collect_caches)
+        results = []
+        for offset, unit in enumerate(self.units):
+            if control is not None and control.stop_before(offset):
+                break
+            results.append(self.task(unit, self.unit_rng(offset), **context))
+            if control is not None:
+                control.completed(offset)
+        return ShardResult(index=self.index, start=self.start,
+                           results=results, caches=caches)
+
+    async def _run_async(self, collect_caches: bool) -> ShardResult:
+        import inspect
+
+        context, caches = self._prepare(collect_caches)
+        results = []
+        for offset, unit in enumerate(self.units):
+            value = self.task(unit, self.unit_rng(offset), **context)
+            if inspect.isawaitable(value):
+                value = await value
+            results.append(value)
         return ShardResult(index=self.index, start=self.start,
                            results=results, caches=caches)
 

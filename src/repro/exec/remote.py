@@ -11,7 +11,7 @@ length-prefixed transport of :mod:`repro.exec.transport`.  Two topologies:
   connect to serving workers (``python -m repro.exec.worker --serve``),
   the multi-host deployment shape.
 
-Scheduling is a shared work queue with three robustness mechanisms:
+Scheduling is a shared work queue with five robustness mechanisms:
 
 * **Acknowledgement** — a worker acks every shard on receipt, so the parent
   can tell a dispatch that never arrived from a death mid-execution: an
@@ -19,16 +19,30 @@ Scheduling is a shared work queue with three robustness mechanisms:
 * **Bounded retry** — a shard whose worker raised or died is re-queued up to
   ``max_retries`` times; exhaustion re-raises the original worker exception
   with the worker traceback attached as a note.
-* **Straggler re-dispatch** — near the tail (no pending shards left), idle
-  workers speculatively re-run the slowest in-flight shards; the first
-  result per shard wins and duplicates are dropped, so a slow or wedged
-  worker cannot hold the sweep hostage.
+* **Work stealing** — an idle worker with nothing pending asks the busiest
+  single-copy shard's worker to give up its unexecuted tail; the victim
+  stops at a unit boundary it reports back, the scheduler splits the shard
+  there (the tail becomes a new shard on the queue), and per-unit seeding
+  keeps the reduced output identical under any split schedule.
+* **Heartbeats** — a running worker reports units-done every
+  ``heartbeat_interval`` seconds; a worker silent past ``heartbeat_timeout``
+  (wedged, preempted, SIGSTOPped) is drained exactly like a death, so a
+  silent stall can never hold the sweep hostage.
+* **Straggler re-dispatch** — near the tail, idle workers additionally
+  speculatively re-run the slowest in-flight shards; the first result per
+  shard wins and duplicates are dropped.
+
+The fleet is *elastic*: :meth:`RemoteExecutor.attach` admits a late-joining
+serving worker into an in-flight ``map_shards`` (its drive thread joins the
+live scheduler), and heartbeat-timed-out or dead workers are drained
+mid-run — spot-instance style grow/shrink without restarting the sweep.
 
 None of this can change the numbers: shard results are deterministic
 functions of the plan (randomness is anchored per unit), so retries,
-duplicates and fleet size leave the output bit-identical to
+duplicates, steals and fleet size leave the output bit-identical to
 :class:`~repro.exec.SerialExecutor` — the same contract every other backend
-honours, enforced by ``tests/exec/test_executor_conformance.py``.
+honours, enforced by ``tests/exec/test_executor_conformance.py`` and
+``tests/exec/test_elastic.py``.
 
 Worker condition-cache snapshots travel back inside each
 :class:`~repro.exec.ShardResult` and are merged into the parent by the
@@ -58,6 +72,7 @@ from repro.exec.transport import (
     TransportClosedError,
     TransportConnectError,
     TransportError,
+    TransportTimeoutError,
     connect,
     listen,
 )
@@ -95,6 +110,14 @@ class _Worker:
         self.process = process
         self.address = address
         self.alive = True
+        #: Serializes writers: the worker's own drive thread (shard
+        #: dispatches) and any idle worker's drive thread (steal requests)
+        #: share this connection's outbound stream.
+        self.send_lock = threading.Lock()
+
+    def send(self, message: Any) -> None:
+        with self.send_lock:
+            self.conn.send(message)
 
     def dead(self) -> bool:
         return (not self.alive or self.conn.closed
@@ -103,13 +126,19 @@ class _Worker:
 
     def close(self, shutdown: bool = True) -> None:
         self.alive = False
-        if shutdown and not self.conn.closed:
+        graceful = shutdown and not self.conn.closed
+        if graceful:
             try:
-                self.conn.send(("shutdown",))
+                self.send(("shutdown",))
             except TransportError:
-                pass
+                graceful = False
         self.conn.close()
         if self.process is not None:
+            if not graceful:
+                # A worker torn down without a goodbye may be unable to
+                # exit on its own — a SIGSTOPped (preempted) process never
+                # sees the closed socket.
+                self.process.kill()
             try:
                 self.process.wait(timeout=5)
             except subprocess.TimeoutExpired:  # pragma: no cover - stuck
@@ -126,15 +155,28 @@ class _ShardScheduler:
     """
 
     def __init__(self, shards: list[ShardSpec], *, max_retries: int,
-                 speculate: bool, straggler_wait: float, max_copies: int):
+                 speculate: bool, straggler_wait: float, max_copies: int,
+                 steal: bool = True, steal_wait: float = 0.25):
         self.max_retries = max_retries
         self.speculate = speculate
         self.straggler_wait = straggler_wait
         self.max_copies = max_copies
+        self.steal = steal
+        self.steal_wait = steal_wait
         self._cond = threading.Condition()
         self._pending = deque(shards)
         self._total = len(shards)
-        #: shard index -> {"spec", "workers": set, "since": float}
+        #: The authoritative current spec per shard index.  A steal
+        #: truncates the victim's spec in place here (the tail becomes a new
+        #: entry under a fresh index), so every re-queue path dispatches the
+        #: post-split spec, never a stale full-range one.
+        self._specs: dict[int, ShardSpec] = {spec.index: spec
+                                             for spec in shards}
+        self._next_index = 1 + max((spec.index for spec in shards),
+                                   default=-1)
+        #: shard index -> {"spec", "workers": set, "since": float,
+        #: "copies": [dispatch times], "progress": units done (heartbeat),
+        #: "split": a steal already cut this shard, "steal_requested": float}
         self._running: dict[int, dict] = {}
         self._results: dict[int, ShardResult] = {}
         self._failures: dict[int, list[tuple[BaseException, str]]] = {}
@@ -143,13 +185,22 @@ class _ShardScheduler:
         self.fatal_note: str | None = None
         self.stats = {"dispatches": 0, "acks": 0, "retries": 0,
                       "unacked_redispatches": 0, "duplicates": 0,
-                      "deduplicated": 0, "worker_deaths": 0}
+                      "deduplicated": 0, "worker_deaths": 0,
+                      "steals": 0, "steal_requests": 0, "stale_skips": 0,
+                      "heartbeats": 0, "heartbeat_timeouts": 0, "joins": 0}
 
     # -- worker lifecycle --------------------------------------------------
 
-    def register_worker(self) -> None:
+    def register_worker(self, joined: bool = False,
+                        worker: "_Worker | None" = None) -> None:
         with self._cond:
             self._registered += 1
+            if joined:
+                self.stats["joins"] += 1
+                obs_trace.event("exec.worker_join",
+                                worker=_worker_label(worker))
+            obs_context.record_fleet_size(self._registered)
+            self._cond.notify_all()
 
     def deregister_worker(self) -> None:
         with self._cond:
@@ -170,15 +221,24 @@ class _ShardScheduler:
         return len(self._results) == self._total or self.fatal_error is not None
 
     def next_shard(self, worker: _Worker) -> ShardSpec | None:
-        """Block until there is work for ``worker`` (None: run is over)."""
-        with self._cond:
-            while True:
+        """Block until there is work for ``worker`` (None: run is over).
+
+        An idle worker prefers, in order: a pending shard, a speculative
+        copy of a straggler, and finally *stealing* — asking the busiest
+        single-copy shard's worker to give up its unexecuted tail.  The
+        steal request is sent from here (outside the scheduler lock — it is
+        a blocking socket write); the victim's reply lands on the victim's
+        own drive thread, which queues the tail via :meth:`stolen`, and this
+        worker picks it up as ordinary pending work on a later iteration.
+        """
+        while True:
+            request = None
+            with self._cond:
                 if self._finished():
                     self._cond.notify_all()
                     return None
-                if self._pending:
-                    spec = self._pending.popleft()
-                    self._mark_dispatch(spec, worker)
+                spec = self._pop_pending(worker)
+                if spec is not None:
                     return spec
                 if self.speculate:
                     spec = self._straggler_for(worker)
@@ -188,36 +248,178 @@ class _ShardScheduler:
                         obs_trace.event("exec.speculate", shard=spec.index,
                                         worker=_worker_label(worker))
                         return spec
-                self._cond.wait(timeout=max(self.straggler_wait, 0.05))
+                if self.steal:
+                    request = self._steal_candidate(worker)
+                if request is None:
+                    self._cond.wait(timeout=0.05)
+                    continue
+            victim, index, offset = request
+            obs_trace.event("exec.steal_request", shard=index, offset=offset,
+                            worker=_worker_label(victim),
+                            thief=_worker_label(worker))
+            try:
+                victim.send(("steal", index, offset))
+            except TransportError:
+                # The victim is dying; its drive thread will requeue the
+                # shard.  Clear the in-flight marker so another steal (or
+                # speculation) is not starved meanwhile.
+                with self._cond:
+                    entry = self._running.get(index)
+                    if entry is not None:
+                        entry["steal_requested"] = None
+
+    def _pop_pending(self, worker: _Worker) -> ShardSpec | None:
+        """The next pending spec, skipping stale entries.
+
+        A spec re-queued by :meth:`_requeue_unacked` whose speculative copy
+        then won stays in the queue; dispatching it would fully re-execute a
+        shard that already completed.  Such entries are dropped here, and
+        the dispatched spec is always the authoritative (post-split) one.
+        """
+        while self._pending:
+            spec = self._pending.popleft()
+            if spec.index in self._results:
+                self.stats["stale_skips"] += 1
+                obs_trace.event("exec.stale_skip", shard=spec.index)
+                continue
+            spec = self._specs.get(spec.index, spec)
+            self._mark_dispatch(spec, worker)
+            return spec
+        return None
 
     def _mark_dispatch(self, spec: ShardSpec, worker: _Worker) -> None:
+        now = time.monotonic()
         entry = self._running.get(spec.index)
         if entry is None:
             entry = self._running[spec.index] = {
-                "spec": spec, "workers": set(), "since": time.monotonic()}
+                "spec": spec, "workers": set(), "since": now, "copies": [],
+                "progress": 0, "split": False, "steal_requested": None}
         entry["workers"].add(worker)
+        entry["copies"].append(now)
         self.stats["dispatches"] += 1
 
     def _straggler_for(self, worker: _Worker) -> ShardSpec | None:
-        """The slowest in-flight shard worth duplicating onto ``worker``."""
+        """The slowest in-flight shard worth duplicating onto ``worker``.
+
+        Staleness is judged from the shard's *latest* dispatch: each
+        additional copy must wait out its own ``straggler_wait`` before the
+        next one launches, so one slow shard ramps to ``max_copies``
+        gradually instead of absorbing every idle worker in a single wait
+        cycle.  Shards with a steal request in flight are skipped — a
+        speculative full-range copy racing a concurrent split would cover
+        units the stolen tail also covers.
+        """
         now = time.monotonic()
         candidates = [
             entry for entry in self._running.values()
             if worker not in entry["workers"]
             and entry["workers"]  # someone is actually running it
             and len(entry["workers"]) < self.max_copies
-            and now - entry["since"] >= self.straggler_wait]
+            and entry["steal_requested"] is None
+            and entry["copies"]
+            and now - entry["copies"][-1] >= self.straggler_wait]
         if not candidates:
             return None
         entry = min(candidates, key=lambda item: item["since"])
         entry["workers"].add(worker)
+        entry["copies"].append(now)
         return entry["spec"]
+
+    def _steal_candidate(self, worker: _Worker
+                         ) -> "tuple[_Worker, int, int] | None":
+        """Pick ``(victim, shard index, offset)`` to steal, or None.
+
+        Only single-copy shards are candidates (a speculative race over a
+        split range could double-count units), the victim must have held
+        the shard at least ``steal_wait`` (give fast shards a chance to
+        just finish), at least two units must remain beyond the last
+        heartbeat's progress, and at most one steal per shard is in flight.
+        The shard with the most remaining units is split near the middle
+        of its remainder.
+        """
+        now = time.monotonic()
+        best = None
+        best_remaining = 0
+        retry_after = max(self.steal_wait * 4, 1.0)
+        for entry in self._running.values():
+            if worker in entry["workers"] or len(entry["workers"]) != 1:
+                continue
+            if (entry["steal_requested"] is not None
+                    and now - entry["steal_requested"] < retry_after):
+                continue
+            if now - entry["copies"][-1] < self.steal_wait:
+                continue
+            remaining = len(entry["spec"].units) - entry["progress"]
+            if remaining < 2:
+                continue
+            if remaining > best_remaining:
+                best, best_remaining = entry, remaining
+        if best is None:
+            return None
+        best["steal_requested"] = now
+        self.stats["steal_requests"] += 1
+        victim = next(iter(best["workers"]))
+        offset = best["progress"] + (best_remaining + 1) // 2
+        return victim, best["spec"].index, offset
 
     # -- outcomes ----------------------------------------------------------
 
     def acked(self, index: int) -> None:
         with self._cond:
             self.stats["acks"] += 1
+
+    def heartbeat(self, worker: _Worker, index: int, done: int) -> None:
+        """A running worker reported ``done`` units executed on ``index``."""
+        with self._cond:
+            self.stats["heartbeats"] += 1
+            entry = self._running.get(index)
+            if entry is not None:
+                entry["progress"] = max(entry["progress"], int(done))
+
+    def stolen(self, worker: _Worker, index: int,
+               boundary: int | None) -> None:
+        """The victim's reply to a steal: it will stop before ``boundary``.
+
+        ``None`` (the run already finished on the worker) and boundaries at
+        or past the current spec's end are no-ops; otherwise the shard is
+        split at the boundary and the tail queued as a new shard.
+        """
+        with self._cond:
+            entry = self._running.get(index)
+            if entry is not None:
+                entry["steal_requested"] = None
+            if boundary is None or index in self._results:
+                # Nothing was given up, or the shard completed first (its
+                # result, arriving on the same drive thread, may overtake
+                # this reply — completed() reconciled any short run).
+                self._cond.notify_all()
+                return
+            self._split(index, int(boundary), worker)
+            self._cond.notify_all()
+
+    def _split(self, index: int, boundary: int, worker: _Worker) -> bool:
+        """Cut ``[boundary, end)`` off shard ``index`` into a new pending
+        shard (no-op when the boundary covers the whole current spec)."""
+        spec = self._specs.get(index)
+        if spec is None or not 0 <= boundary < len(spec.units):
+            return False
+        tail = spec.subspec(boundary, len(spec.units),
+                            index=self._next_index)
+        self._next_index += 1
+        head = spec.subspec(0, boundary)
+        self._specs[index] = head
+        self._specs[tail.index] = tail
+        entry = self._running.get(index)
+        if entry is not None:
+            entry["spec"] = head
+            entry["split"] = True
+        self._total += 1
+        self._pending.append(tail)
+        self.stats["steals"] += 1
+        obs_trace.event("exec.steal", shard=index, new_shard=tail.index,
+                        boundary=boundary, units=len(tail.units),
+                        worker=_worker_label(worker))
+        return True
 
     def completed(self, worker: _Worker, result: ShardResult) -> None:
         with self._cond:
@@ -233,6 +435,20 @@ class _ShardScheduler:
                                 worker=_worker_label(worker))
                 obs_context.adopt_abandoned(getattr(result, "obs", None))
             else:
+                spec = self._specs.get(result.index)
+                expected = (len(spec.units) if spec is not None
+                            else len(result.results))
+                if len(result.results) > expected:
+                    # A full-range copy raced a concurrent split; results
+                    # are deterministic per unit, so the head is exactly
+                    # the prefix.
+                    del result.results[expected:]
+                elif len(result.results) < expected:
+                    # The worker stopped early (a steal reply still in
+                    # flight, or a session teardown at a unit boundary):
+                    # whatever it did not cover becomes a new pending
+                    # shard, exactly as a processed steal reply would.
+                    self._split(result.index, len(result.results), worker)
                 self._results[result.index] = result
             self._running.pop(result.index, None)
             self._cond.notify_all()
@@ -246,17 +462,25 @@ class _ShardScheduler:
             self._cond.notify_all()
 
     def worker_lost(self, worker: _Worker, spec: ShardSpec | None,
-                    error: TransportError, acked: bool = True) -> None:
-        """The transport to ``worker`` died, possibly mid-shard.
+                    error: TransportError, acked: bool = True,
+                    timed_out: bool = False) -> None:
+        """The transport to ``worker`` died (or went silent), mid-shard.
 
         This is where the per-shard acknowledgement pays off: a dispatch
         the worker never acked provably never started, so it is re-queued
         without consuming the shard's retry budget — only deaths *after*
         the ack (the shard may have side effects or be poison) count as
-        failures.
+        failures.  ``timed_out`` marks a heartbeat timeout — a worker that
+        went silent rather than one whose stream died; it is drained
+        exactly like a death.
         """
         with self._cond:
             self.stats["worker_deaths"] += 1
+            if timed_out:
+                self.stats["heartbeat_timeouts"] += 1
+                obs_trace.event("exec.heartbeat_timeout",
+                                worker=_worker_label(worker),
+                                shard=None if spec is None else spec.index)
             obs_trace.event("exec.worker_death",
                             worker=_worker_label(worker),
                             shard=None if spec is None else spec.index,
@@ -278,7 +502,7 @@ class _ShardScheduler:
             if entry["workers"]:
                 return  # another copy is still running; let it race
         self._running.pop(spec.index, None)
-        self._pending.appendleft(spec)
+        self._pending.appendleft(self._specs.get(spec.index, spec))
         self.stats["unacked_redispatches"] += 1
         obs_trace.event("exec.requeue_unacked", shard=spec.index,
                         worker=_worker_label(worker))
@@ -313,7 +537,7 @@ class _ShardScheduler:
             self._running.pop(spec.index, None)
         else:
             self._running.pop(spec.index, None)
-            self._pending.appendleft(spec)
+            self._pending.appendleft(self._specs.get(spec.index, spec))
             self.stats["retries"] += 1
             obs_trace.event("exec.retry", shard=spec.index,
                             attempt=len(failures),
@@ -329,7 +553,10 @@ class _ShardScheduler:
 
     def ordered_results(self) -> list[ShardResult]:
         with self._cond:
-            return [self._results[index] for index in sorted(self._results)]
+            # Stolen tails carry fresh indices, so unit position — not the
+            # dispatch index — is the global order.
+            return sorted(self._results.values(),
+                          key=lambda result: result.start)
 
 
 class RemoteExecutor(Executor):
@@ -352,6 +579,19 @@ class RemoteExecutor(Executor):
         workers re-run in-flight shards older than ``straggler_wait``
         seconds (at most ``max_copies`` concurrent copies per shard); the
         first result wins.
+    steal:
+        Enable work stealing: an idle worker with nothing pending asks the
+        busiest single-copy shard's worker (idle for ``steal_wait``
+        seconds first) to give up the unexecuted tail of its shard, which
+        becomes a new pending shard.  Output is bit-identical under any
+        stealing schedule (per-unit seeding), test-enforced.
+    heartbeat_interval:
+        Seconds between a running worker's progress heartbeats (0 disables
+        them).  Heartbeat progress also feeds steal decisions.
+    heartbeat_timeout:
+        Seconds of mid-shard silence after which a worker is declared
+        stalled and drained like a death (its shard re-queued under the
+        usual retry budget).  Only armed while heartbeats are enabled.
     connect_timeout:
         Seconds to wait for a worker to come up / accept before raising
         :class:`~repro.exec.transport.TransportConnectError`.
@@ -376,7 +616,10 @@ class RemoteExecutor(Executor):
     def __init__(self, workers: int | None = None,
                  hosts: list[str] | None = None, max_retries: int = 2,
                  speculate: bool = True, straggler_wait: float = 1.0,
-                 max_copies: int = 2, connect_timeout: float = 10.0,
+                 max_copies: int = 2, steal: bool = True,
+                 steal_wait: float = 0.25, heartbeat_interval: float = 0.25,
+                 heartbeat_timeout: float = 10.0,
+                 connect_timeout: float = 10.0,
                  drain_timeout: float = 10.0,
                  worker_log_dir: str | os.PathLike | None = None):
         self.hosts = list(hosts) if hosts is not None else None
@@ -390,10 +633,20 @@ class RemoteExecutor(Executor):
         if max_copies < 2:
             raise ValueError("max_copies must be at least 2 (the original "
                              "plus one speculative copy)")
+        if heartbeat_interval < 0 or heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_interval must be >= 0 and "
+                             "heartbeat_timeout positive")
+        if 0 < heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed "
+                             "heartbeat_interval")
         self.max_retries = max_retries
         self.speculate = speculate
         self.straggler_wait = straggler_wait
         self.max_copies = max_copies
+        self.steal = steal
+        self.steal_wait = steal_wait
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
         self.drain_timeout = drain_timeout
         self.worker_log_dir = (Path(worker_log_dir)
@@ -402,6 +655,11 @@ class RemoteExecutor(Executor):
         self._workers: list[_Worker] = []
         self._listener: socket.socket | None = None
         self._spawned = 0
+        #: Guards fleet mutations against a concurrent attach(); the active
+        #: scheduler/threads let attach() join a run already in flight.
+        self._fleet_lock = threading.Lock()
+        self._active_scheduler: _ShardScheduler | None = None
+        self._active_threads: list[tuple[threading.Thread, _Worker]] = []
 
     # -- fleet management --------------------------------------------------
 
@@ -411,6 +669,7 @@ class RemoteExecutor(Executor):
         Reused connections are ping-probed: a worker that exited since the
         last run (a ``--once`` server, a crashed host) leaves the local
         socket looking open, and only a round-trip proves it still serves.
+        Caller must hold ``_fleet_lock``.
         """
         for worker in self._workers:
             if worker.dead() or not self._responds(worker):
@@ -433,6 +692,31 @@ class RemoteExecutor(Executor):
         else:
             while len(self._workers) < self.workers:
                 self._workers.append(self._spawn_worker())
+
+    def attach(self, address: str) -> None:
+        """Admit a serving worker at ``address`` into the fleet — mid-run.
+
+        The elastic grow path: connect to a ``python -m repro.exec.worker
+        --serve`` process and, when a ``map_shards`` is in flight, register
+        it with the live scheduler and start a drive thread so it pulls
+        (or steals) work immediately.  Outside a run it simply joins the
+        fleet for the next one.
+        """
+        worker = self._connect_host(address)
+        with self._fleet_lock:
+            self._workers.append(worker)
+            if self.hosts is not None and address not in self.hosts:
+                self.hosts.append(address)
+            scheduler = self._active_scheduler
+            thread = None
+            if scheduler is not None:
+                scheduler.register_worker(joined=True, worker=worker)
+                thread = threading.Thread(target=self._drive_worker,
+                                          args=(worker, scheduler),
+                                          daemon=True)
+                self._active_threads.append((thread, worker))
+        if thread is not None:
+            thread.start()
 
     def _responds(self, worker: _Worker) -> bool:
         """Round-trip a ping over a reused connection (bounded wait)."""
@@ -511,26 +795,40 @@ class RemoteExecutor(Executor):
         sys_path = [entry if entry else os.getcwd() for entry in sys.path]
         main_path = getattr(sys.modules.get("__main__"), "__file__", None)
         conn.send(("init", {"sys_path": sys_path, "cwd": os.getcwd(),
-                            "main_path": main_path}))
+                            "main_path": main_path,
+                            "heartbeat_interval": self.heartbeat_interval}))
         conn.settimeout(None)
 
     # -- execution ---------------------------------------------------------
 
     def map_shards(self, shards: list[ShardSpec]) -> list[ShardResult]:
-        self._ensure_fleet()
         traced = obs_trace.is_enabled()
-        traffic_before = self._transport_totals() if traced else {}
         scheduler = _ShardScheduler(
             shards, max_retries=self.max_retries, speculate=self.speculate,
-            straggler_wait=self.straggler_wait, max_copies=self.max_copies)
-        threads: list[tuple[threading.Thread, _Worker]] = []
-        for worker in list(self._workers):
-            scheduler.register_worker()
-            thread = threading.Thread(target=self._drive_worker,
-                                      args=(worker, scheduler), daemon=True)
-            threads.append((thread, worker))
+            straggler_wait=self.straggler_wait, max_copies=self.max_copies,
+            steal=self.steal, steal_wait=self.steal_wait)
+        # Fleet repair and scheduler activation are one critical section, so
+        # an attach() racing the run start either lands in the starting
+        # fleet or joins the already-active scheduler — never neither.
+        with self._fleet_lock:
+            self._ensure_fleet()
+            traffic_before = self._transport_totals() if traced else {}
+            self._active_scheduler = scheduler
+            self._active_threads = []
+            for worker in list(self._workers):
+                scheduler.register_worker()
+                thread = threading.Thread(target=self._drive_worker,
+                                          args=(worker, scheduler),
+                                          daemon=True)
+                self._active_threads.append((thread, worker))
+            threads = list(self._active_threads)
+        for thread, _ in threads:
             thread.start()
         scheduler.wait()
+        with self._fleet_lock:
+            self._active_scheduler = None
+            threads = self._active_threads
+            self._active_threads = []
         self._drain(threads)
         self.last_run_stats = dict(scheduler.stats)
         if traced:
@@ -573,6 +871,8 @@ class RemoteExecutor(Executor):
 
     def _drive_worker(self, worker: _Worker,
                       scheduler: _ShardScheduler) -> None:
+        watchdog = (self.heartbeat_timeout
+                    if self.heartbeat_interval > 0 else None)
         try:
             while True:
                 spec = scheduler.next_shard(worker)
@@ -580,23 +880,52 @@ class RemoteExecutor(Executor):
                     return
                 acked = False
                 try:
-                    worker.conn.send(("shard", spec))
-                    message = worker.conn.recv()
-                    if message[0] == "ack":
-                        scheduler.acked(spec.index)
-                        acked = True
-                        message = worker.conn.recv()
-                    if message[0] == "result":
-                        scheduler.completed(worker, message[1])
-                    elif message[0] == "error":
-                        scheduler.errored(
-                            worker, spec, self._unpickle(message[2]),
-                            message[3],
-                            message[4] if len(message) > 4 else None)
-                    else:
-                        raise TransportError(
-                            f"unexpected {message[0]!r} message from "
-                            f"{worker.conn.peer}")
+                    worker.send(("shard", spec))
+                    # While a shard is out, the worker is never legitimately
+                    # silent for long: acks are immediate and heartbeats
+                    # periodic.  Arm the watchdog so a silent stall surfaces
+                    # as a timeout instead of hanging the drive thread.
+                    if watchdog is not None:
+                        worker.conn.settimeout(watchdog)
+                    try:
+                        while True:
+                            message = worker.conn.recv()
+                            kind = message[0]
+                            if kind == "ack":
+                                scheduler.acked(spec.index)
+                                acked = True
+                            elif kind == "heartbeat":
+                                scheduler.heartbeat(worker, message[1],
+                                                    message[2])
+                            elif kind == "stolen":
+                                scheduler.stolen(worker, message[1],
+                                                 message[2])
+                            elif kind == "result":
+                                scheduler.completed(worker, message[1])
+                                break
+                            elif kind == "error":
+                                scheduler.errored(
+                                    worker, spec,
+                                    self._unpickle(message[2]), message[3],
+                                    message[4] if len(message) > 4
+                                    else None)
+                                break
+                            else:
+                                raise TransportError(
+                                    f"unexpected {kind!r} message from "
+                                    f"{worker.conn.peer}")
+                    finally:
+                        if watchdog is not None:
+                            worker.conn.settimeout(None)
+                except TransportTimeoutError as error:
+                    # The worker went silent past the heartbeat timeout.
+                    # The timed-out read may have stopped mid-frame, so the
+                    # stream is unusable — drain the worker like a death.
+                    worker.alive = False
+                    worker.conn.shutdown()
+                    scheduler.worker_lost(worker, spec, error, acked=acked,
+                                          timed_out=True)
+                    return
                 except TransportError as error:
                     worker.alive = False
                     scheduler.worker_lost(worker, spec, error, acked=acked)

@@ -33,15 +33,19 @@ __all__ = [
     "TransportError",
     "TransportConnectError",
     "TransportClosedError",
+    "TransportTimeoutError",
     "Connection",
     "connect",
     "listen",
     "parse_address",
+    "format_address",
 ]
 
 #: Bumped whenever the message framing or the handshake changes shape;
-#: parent and worker refuse to talk across versions.
-PROTOCOL_VERSION = 1
+#: parent and worker refuse to talk across versions.  Version 2 added the
+#: elastic-scheduler messages: worker heartbeats, mid-shard steal requests
+#: and the ``stolen`` boundary reply.
+PROTOCOL_VERSION = 2
 
 _MAGIC = b"RXC1"
 _HEADER = struct.Struct(">4sQ")
@@ -62,19 +66,63 @@ class TransportClosedError(TransportError):
     """The stream died (EOF or I/O error) before a full message arrived."""
 
 
+class TransportTimeoutError(TransportError):
+    """A bounded read expired with no message — the peer went silent.
+
+    Raised only while a read deadline is armed (the remote executor arms one
+    per heartbeat window).  A timeout may strike mid-frame, so the stream
+    must be considered desynchronized and torn down — the executor treats it
+    exactly like a worker death.
+    """
+
+
 def parse_address(address: str) -> tuple[str, int]:
-    """Split ``"host:port"`` into its parts (``"port"`` alone is localhost)."""
-    host, sep, port = str(address).rpartition(":")
-    if not sep:
-        host, port = "127.0.0.1", address
-    if not host:
-        raise ValueError(f"invalid worker address {address!r}; "
-                         "expected 'host:port'")
+    """Split a worker address into ``(host, port)``.
+
+    Accepted forms::
+
+        "7070"              -> ("127.0.0.1", 7070)   # port alone: localhost
+        "host:7070"         -> ("host", 7070)
+        "[::1]:7070"        -> ("::1", 7070)         # bracketed IPv6
+
+    An unbracketed address containing more than one colon is rejected:
+    ``"::1:9000"`` is itself a valid IPv6 literal, so splitting it on the
+    last colon would silently guess which parse was meant — IPv6 hosts must
+    be bracketed, the URL convention.
+    """
+    text = str(address).strip()
+    error = ValueError(f"invalid worker address {address!r}; expected "
+                       "'host:port', 'port', or '[ipv6]:port'")
+    if text.startswith("["):
+        host, bracket, port = text[1:].partition("]")
+        if not bracket or not host or not port.startswith(":"):
+            raise error
+        port = port[1:]
+    elif text.count(":") > 1:
+        raise ValueError(
+            f"ambiguous IPv6 worker address {address!r}; bracket the host "
+            "as '[ipv6]:port'")
+    else:
+        host, sep, port = text.rpartition(":")
+        if not sep:
+            host, port = "127.0.0.1", text
+        if not host:
+            raise error
     try:
-        return host, int(port)
+        port_number = int(port)
     except ValueError:
-        raise ValueError(f"invalid worker address {address!r}; "
-                         "expected 'host:port'") from None
+        raise error from None
+    if not 0 <= port_number <= 65535:
+        raise error
+    return host, port_number
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical string for ``(host, port)`` — IPv6 hosts bracketed so
+    the result round-trips through :func:`parse_address`."""
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
 
 
 class Connection:
@@ -122,7 +170,10 @@ class Connection:
         duration is unbounded by design.
         """
         if self._sock is not None:
-            self._sock.settimeout(timeout)
+            try:
+                self._sock.settimeout(timeout)
+            except OSError:
+                pass  # already torn down; the pending read will surface it
 
     def send(self, message: Any) -> None:
         """Frame and write one message, flushing the stream."""
@@ -163,6 +214,12 @@ class Connection:
         while remaining:
             try:
                 chunk = self._reader.read(remaining)
+            except TimeoutError as error:
+                # A deadline armed via settimeout() expired.  The read may
+                # have stopped mid-frame, so the stream cannot be resumed.
+                raise TransportTimeoutError(
+                    f"no message from {self.peer} within the read deadline"
+                ) from error
             except (OSError, ValueError) as error:
                 raise TransportClosedError(
                     f"connection to {self.peer} died while receiving: "
@@ -238,7 +295,8 @@ def connect(address: str | tuple[str, int], timeout: float = 10.0,
 
 def listen(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
     """A listening socket for workers to dial into (port 0: OS-assigned)."""
-    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    family = socket.AF_INET6 if ":" in host else socket.AF_INET
+    sock = socket.socket(family, socket.SOCK_STREAM)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     sock.bind((host, port))
     sock.listen()

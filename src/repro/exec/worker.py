@@ -22,8 +22,15 @@ Session protocol (every frame a pickled message):
    in a :class:`concurrent.futures.ProcessPoolExecutor` worker;
 3. repeated: parent → ``("shard", ShardSpec)``; worker → ``("ack", index)``
    the moment the shard is in hand (so the parent can tell a lost dispatch
-   from a death mid-execution), then runs it and sends
+   from a death mid-execution), then runs it on a dedicated thread and sends
    ``("result", ShardResult)`` or ``("error", index, exc_bytes, traceback)``;
+   while the shard runs, a heartbeat thread sends
+   ``("heartbeat", index, units_done)`` every ``heartbeat_interval`` seconds
+   (from the init options) so the parent can detect a silent stall, and the
+   session loop keeps listening so the parent may send
+   ``("steal", index, offset)`` — the worker then stops before unit
+   ``offset`` (or the earliest unit it has not started, whichever is later)
+   and replies ``("stolen", index, boundary)`` with the actual cut;
 4. parent → ``("shutdown",)`` ends the session.
 
 Shards run with ``collect_caches=True``: condition-cache snapshots travel
@@ -47,9 +54,10 @@ import json
 import os
 import pickle
 import sys
+import threading
 import time
 import traceback
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.exec import transport
 
@@ -166,64 +174,196 @@ def _error_diagnostics() -> dict[str, Any]:
     return {"pid": os.getpid(), "last_span": _last_span_name()}
 
 
+class _ShardRun:
+    """One in-flight shard: a runner thread plus an optional heartbeat.
+
+    The runner executes the spec through the cooperative ``control`` hooks
+    of :meth:`ShardSpec.run` (this object *is* the control), sends the
+    terminal ``result``/``error`` message itself, then sets ``finished``.
+    The heartbeat thread reports units-done every ``heartbeat_interval``
+    seconds until then.  :meth:`steal` — called from the session loop when
+    the parent asks for the tail — lowers the stop boundary and returns the
+    actual cut, never below a unit already started.
+    """
+
+    def __init__(self, spec, send: Callable[[Any], None], log: WorkerLog,
+                 heartbeat_interval: float = 0.0):
+        self.spec = spec
+        self._send = send
+        self._log = log
+        self._interval = heartbeat_interval
+        self._lock = threading.Lock()
+        self._stop_at = len(spec.units)
+        self._done = 0                      # units fully executed
+        self._executing: int | None = None  # offset currently in the task
+        self.finished = threading.Event()
+        self._runner = threading.Thread(target=self._run_shard, daemon=True,
+                                        name=f"shard-{spec.index}")
+        self._heartbeat: threading.Thread | None = None
+        if heartbeat_interval and heartbeat_interval > 0:
+            self._heartbeat = threading.Thread(
+                target=self._beat, daemon=True,
+                name=f"heartbeat-{spec.index}")
+
+    def start(self) -> None:
+        self._runner.start()
+        if self._heartbeat is not None:
+            self._heartbeat.start()
+
+    # -- control protocol consumed by ShardSpec.run (runner thread) --------
+
+    def stop_before(self, offset: int) -> bool:
+        with self._lock:
+            if offset >= self._stop_at:
+                return True
+            self._executing = offset
+            return False
+
+    def completed(self, offset: int) -> None:
+        with self._lock:
+            self._done = offset + 1
+            self._executing = None
+
+    # -- session-loop side --------------------------------------------------
+
+    def steal(self, requested: int) -> int | None:
+        """Lower the stop boundary toward ``requested``; return the cut.
+
+        The boundary never drops below the earliest unit not yet started
+        (a unit mid-task cannot be unexecuted), and never rises above the
+        current boundary.  Returns ``None`` when the run already finished —
+        there is no tail left to give.
+        """
+        with self._lock:
+            if self.finished.is_set():
+                return None
+            floor = (self._executing + 1 if self._executing is not None
+                     else self._done)
+            boundary = min(max(int(requested), floor), self._stop_at)
+            self._stop_at = boundary
+            return boundary
+
+    def abort(self) -> None:
+        """Stop as soon as the unit in flight completes (session teardown)."""
+        self.steal(0)
+
+    # -- worker threads ------------------------------------------------------
+
+    def _beat(self) -> None:
+        while not self.finished.wait(self._interval):
+            with self._lock:
+                done = self._done
+            try:
+                self._send(("heartbeat", self.spec.index, done))
+            except transport.TransportError:
+                return
+
+    def _run_shard(self) -> None:
+        spec = self.spec
+        try:
+            try:
+                result = spec.run(collect_caches=True, control=self)
+            except BaseException as error:
+                self._log.log("shard_error", level="error", shard=spec.index,
+                              error=f"{type(error).__name__}: {error}",
+                              last_span=_last_span_name())
+                self._send(("error", spec.index, _pickled_exception(error),
+                            traceback.format_exc(), _error_diagnostics()))
+            else:
+                self._log.log("shard_done", shard=spec.index,
+                              units_done=len(result.results))
+                self._send(("result", result))
+        except transport.TransportError as error:
+            self._log.log("result_send_failed", level="error",
+                          shard=spec.index, error=str(error))
+        finally:
+            self.finished.set()
+
+
 def serve_connection(conn: transport.Connection,
                      log: WorkerLog | None = None) -> None:
     """Run one parent session over an established connection."""
     if log is None:
         log = WorkerLog()
-    conn.send(("hello", {"pid": os.getpid(),
-                         "protocol": transport.PROTOCOL_VERSION}))
+    send_lock = threading.Lock()
+
+    def send(message: Any) -> None:
+        # One frame at a time: the session loop, the shard runner and the
+        # heartbeat thread all write to the same stream.
+        with send_lock:
+            conn.send(message)
+
+    send(("hello", {"pid": os.getpid(),
+                    "protocol": transport.PROTOCOL_VERSION}))
     log.log("session_start", peer=conn.peer)
-    while True:
-        try:
-            message = conn.recv()
-        except transport.TransportClosedError:
-            log.log("session_end", peer=conn.peer, reason="closed")
-            return
-        except transport.TransportError as error:
-            # Bad magic / oversized frame: the stream is desynchronized and
-            # nothing further on it can be trusted — end the session (the
-            # parent sees the close as a worker loss and re-queues).
-            log.log("desynchronized_stream", level="error", error=str(error))
-            return
-        except Exception as error:
-            # The frame arrived but its payload would not unpickle (e.g. a
-            # task module this worker cannot import).  The framing is
-            # intact, so report and keep the session alive; the parent
-            # retries the shard elsewhere.
-            log.log("unpicklable_frame", level="error", error=str(error))
-            conn.send(("error", None, _pickled_exception(error),
-                       traceback.format_exc(), _error_diagnostics()))
-            continue
-        kind = message[0]
-        if kind == "init":
-            _apply_init(message[1])
-        elif kind == "ping":
-            conn.send(("pong",))
-        elif kind == "shutdown":
-            log.log("session_end", peer=conn.peer, reason="shutdown")
-            return
-        elif kind == "shard":
-            spec = message[1]
-            conn.send(("ack", spec.index))
-            log.log("shard_start", shard=spec.index, units=len(spec.units),
-                    traced=spec.trace is not None)
+    active: _ShardRun | None = None
+    heartbeat_interval = 0.0
+    try:
+        while True:
             try:
-                result = spec.run(collect_caches=True)
-            except BaseException as error:
-                log.log("shard_error", level="error", shard=spec.index,
-                        error=f"{type(error).__name__}: {error}",
-                        last_span=_last_span_name())
-                conn.send(("error", spec.index, _pickled_exception(error),
-                           traceback.format_exc(), _error_diagnostics()))
+                message = conn.recv()
+            except transport.TransportClosedError:
+                log.log("session_end", peer=conn.peer, reason="closed")
+                return
+            except transport.TransportError as error:
+                # Bad magic / oversized frame: the stream is desynchronized
+                # and nothing further on it can be trusted — end the session
+                # (the parent sees the close as a worker loss and re-queues).
+                log.log("desynchronized_stream", level="error",
+                        error=str(error))
+                return
+            except Exception as error:
+                # The frame arrived but its payload would not unpickle (e.g.
+                # a task module this worker cannot import).  The framing is
+                # intact, so report and keep the session alive; the parent
+                # retries the shard elsewhere.
+                log.log("unpicklable_frame", level="error", error=str(error))
+                send(("error", None, _pickled_exception(error),
+                      traceback.format_exc(), _error_diagnostics()))
+                continue
+            kind = message[0]
+            if kind == "init":
+                options = message[1]
+                heartbeat_interval = float(
+                    options.get("heartbeat_interval") or 0.0)
+                _apply_init(options)
+            elif kind == "ping":
+                send(("pong",))
+            elif kind == "shutdown":
+                log.log("session_end", peer=conn.peer, reason="shutdown")
+                return
+            elif kind == "shard":
+                spec = message[1]
+                if active is not None:
+                    # The parent pipelines at most one shard per worker, so
+                    # a fresh dispatch means the previous run's terminal
+                    # message is at most moments away.
+                    active.finished.wait()
+                send(("ack", spec.index))
+                log.log("shard_start", shard=spec.index,
+                        units=len(spec.units), traced=spec.trace is not None)
+                active = _ShardRun(spec, send, log, heartbeat_interval)
+                active.start()
+            elif kind == "steal":
+                index, offset = message[1], message[2]
+                boundary = None
+                if active is not None and active.spec.index == index:
+                    boundary = active.steal(offset)
+                send(("stolen", index, boundary))
+                if boundary is not None:
+                    log.log("shard_stolen", shard=index, boundary=boundary)
             else:
-                log.log("shard_done", shard=spec.index)
-                conn.send(("result", result))
-        else:
-            conn.send(("error", None,
-                       _pickled_exception(
-                           RuntimeError(f"unknown message kind {kind!r}")),
-                       "", _error_diagnostics()))
+                send(("error", None,
+                      _pickled_exception(
+                          RuntimeError(f"unknown message kind {kind!r}")),
+                      "", _error_diagnostics()))
+    finally:
+        if active is not None and not active.finished.is_set():
+            # The session died under a running shard: stop it at the next
+            # unit boundary so a persistent --serve worker is free for its
+            # next parent (the result has nowhere to go anyway).
+            active.abort()
+            active.finished.wait(timeout=5.0)
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -274,10 +414,11 @@ def main(argv: list[str] | None = None) -> None:
         host, port = transport.parse_address(args.serve)
         sock = transport.listen(host, port)
         host, port = sock.getsockname()[:2]
+        address = transport.format_address(host, port)
         # Machine-readable so launch scripts (and tests) can discover the
         # port when --serve was given port 0.
-        print(f"repro-exec-worker listening on {host}:{port}", flush=True)
-        log.log("listening", address=f"{host}:{port}")
+        print(f"repro-exec-worker listening on {address}", flush=True)
+        log.log("listening", address=address)
         try:
             while True:
                 client, _ = sock.accept()

@@ -167,3 +167,16 @@ def record_fleet_stats(stats: Dict[str, int],
         registry.counter(f"exec.fleet.{key}").inc(int(value))
     for key, value in (transport_totals or {}).items():
         registry.counter(f"exec.transport.{key}").inc(int(value))
+
+
+def record_fleet_size(size: int) -> None:
+    """Publish the current fleet size as the ``exec.fleet.size`` gauge.
+
+    The gauge holds the *peak* concurrent fleet — the number grow/shrink
+    telemetry cares about — so a regrowth after deaths never lowers it.
+    Only recorded while tracing (the zero-cost contract).
+    """
+    if not _trace.is_enabled():
+        return
+    gauge = _metrics.get_registry().gauge("exec.fleet.size")
+    gauge.merge({"value": int(size)})

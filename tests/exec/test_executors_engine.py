@@ -39,7 +39,7 @@ def _cached_estimate(unit, rng, *, channel):
 class TestBuildExecutor:
     def test_registry_names(self):
         assert set(EXECUTOR_REGISTRY) == {"serial", "thread", "process",
-                                          "remote"}
+                                          "async", "remote"}
 
     def test_remote_resolves_by_name(self):
         from repro.exec import RemoteExecutor

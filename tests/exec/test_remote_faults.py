@@ -194,6 +194,103 @@ class TestSchedulerEdgeCases:
                               TransportClosedError("second died"))
         assert scheduler.fatal_error is not None
 
+    def test_stale_requeued_spec_not_redispatched_after_completion(self):
+        """Regression: a shard re-queued by ``_requeue_unacked`` whose
+        presumed-lost copy then *wins* used to stay in the pending queue and
+        be fully re-executed after completion.  The stale entry must be
+        skipped at dispatch."""
+        from repro.exec import ShardResult, TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=12)
+        shard0, shard1, shard2 = plan.shards(3)
+        scheduler = _ShardScheduler([shard0, shard1, shard2], max_retries=2,
+                                    speculate=False, straggler_wait=10.0,
+                                    max_copies=2, steal=False)
+        worker_a, worker_b, worker_c = object(), object(), object()
+        assert scheduler.next_shard(worker_a) is shard0
+        assert scheduler.next_shard(worker_b) is shard1
+        # The transport to worker A hiccups before the ack arrives: shard 0
+        # is presumed never-started and re-queued for free...
+        scheduler.worker_lost(worker_a, shard0,
+                              TransportClosedError("presumed lost"),
+                              acked=False)
+        assert scheduler.stats["unacked_redispatches"] == 1
+        # ... but the dispatch had actually landed, and its result wins.
+        result0 = ShardResult(index=shard0.index, start=shard0.start,
+                              results=[1.0] * len(shard0.units))
+        scheduler.completed(worker_a, result0)
+        # The next dispatch must skip the stale pending copy of shard 0 and
+        # hand out the untouched shard 2 — not re-execute completed work.
+        assert scheduler.next_shard(worker_c) is shard2
+        assert scheduler.stats["stale_skips"] == 1
+        assert scheduler.stats["dispatches"] == 3  # one per distinct shard
+
+    def test_straggler_copies_each_wait_their_own_cycle(self):
+        """Regression: staleness was keyed to the shard's *first* dispatch,
+        so the moment one shard crossed ``straggler_wait`` every idle worker
+        piled on duplicates up to ``max_copies`` in the same wait cycle.
+        Each additional copy must wait its own ``straggler_wait`` from the
+        previous dispatch."""
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=0, speculate=True,
+                                    straggler_wait=0.2, max_copies=3,
+                                    steal=False)
+        first, second, third = object(), object(), object()
+        assert scheduler.next_shard(first) is shard
+        time.sleep(0.25)
+        with scheduler._cond:
+            assert scheduler._straggler_for(second) is shard
+            # The fresh copy reset the staleness clock: a third copy may
+            # not launch in the same wait cycle.
+            assert scheduler._straggler_for(third) is None
+        time.sleep(0.25)
+        with scheduler._cond:
+            assert scheduler._straggler_for(third) is shard
+
+    def test_death_in_ack_to_start_window_consumes_budget(self):
+        """A death *after* the ack — even before the first unit ran — counts
+        against the retry budget: the shard reached the worker, so it may be
+        poison."""
+        from repro.exec import TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=1, speculate=False,
+                                    straggler_wait=10.0, max_copies=2,
+                                    steal=False)
+        doomed, healthy = object(), object()
+        assert scheduler.next_shard(doomed) is shard
+        scheduler.acked(shard.index)
+        scheduler.worker_lost(doomed, shard,
+                              TransportClosedError("died between ack and "
+                                                   "first unit"),
+                              acked=True)
+        assert scheduler.fatal_error is None
+        assert scheduler.stats["retries"] == 1
+        assert scheduler.next_shard(healthy) is shard
+
+    def test_death_in_ack_to_start_window_fatal_without_budget(self):
+        from repro.exec import TransportClosedError
+        from repro.exec.remote import _ShardScheduler
+
+        plan = _plan(_boom, units=4)
+        [shard] = plan.shards(1)
+        scheduler = _ShardScheduler([shard], max_retries=0, speculate=False,
+                                    straggler_wait=10.0, max_copies=2,
+                                    steal=False)
+        worker = object()
+        assert scheduler.next_shard(worker) is shard
+        scheduler.acked(shard.index)
+        scheduler.worker_lost(worker, shard,
+                              TransportClosedError("died post-ack"),
+                              acked=True)
+        assert scheduler.fatal_error is not None
+
 
 class TestWorkerMainFixup:
     def test_new_parent_script_replaces_previous_main(self, tmp_path):

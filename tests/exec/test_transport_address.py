@@ -1,0 +1,123 @@
+"""Table-driven coverage for worker-address parsing and formatting.
+
+``parse_address`` historically split on the last colon, which mis-parsed
+IPv6 literals: ``"::1:9000"`` yielded host ``"::1"`` only by luck of
+``rpartition`` and ``"[::1]:9000"`` failed outright.  IPv6 hosts must now
+be bracketed (the URL convention), and the unbracketed ambiguous forms are
+rejected with a pointed error instead of silently guessed at.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.exec.transport import format_address, parse_address
+
+
+VALID = [
+    ("7070", ("127.0.0.1", 7070)),          # bare port: localhost
+    ("0", ("127.0.0.1", 0)),
+    ("localhost:7070", ("localhost", 7070)),
+    ("example.com:7070", ("example.com", 7070)),
+    ("10.0.0.7:65535", ("10.0.0.7", 65535)),
+    (" host:7070 ", ("host", 7070)),        # surrounding whitespace
+    ("[::1]:9000", ("::1", 9000)),
+    ("[2001:db8::1]:7070", ("2001:db8::1", 7070)),
+    ("[fe80::1%eth0]:7070", ("fe80::1%eth0", 7070)),  # zone index
+]
+
+INVALID = [
+    "::1:9000",          # unbracketed IPv6: ambiguous, must be bracketed
+    "2001:db8::1",       # IPv6 literal with no port
+    "[::1]",             # bracketed host, no port
+    "[::1]:",            # empty port
+    "[::1]9000",         # missing colon after the bracket
+    "[::1:9000",         # unterminated bracket
+    "[]:7070",           # empty bracketed host
+    "host:",             # empty port
+    "host:abc",          # non-numeric port
+    ":7070",             # empty host
+    "host:70707",        # port out of range
+    "host:-1",
+    "",
+]
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize("address,expected", VALID)
+    def test_valid(self, address, expected):
+        assert parse_address(address) == expected
+
+    @pytest.mark.parametrize("address", INVALID)
+    def test_invalid(self, address):
+        with pytest.raises(ValueError):
+            parse_address(address)
+
+    def test_unbracketed_ipv6_error_names_the_fix(self):
+        with pytest.raises(ValueError, match=r"bracket"):
+            parse_address("::1:9000")
+
+
+class TestFormatAddress:
+    @pytest.mark.parametrize("host,port", [
+        ("127.0.0.1", 7070),
+        ("example.com", 0),
+        ("::1", 9000),
+        ("2001:db8::1", 7070),
+    ])
+    def test_round_trips_through_parse(self, host, port):
+        assert parse_address(format_address(host, port)) == (host, port)
+
+    def test_brackets_only_ipv6(self):
+        assert format_address("10.0.0.7", 1) == "10.0.0.7:1"
+        assert format_address("::1", 1) == "[::1]:1"
+
+
+def _ipv6_loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET6, socket.SOCK_STREAM)
+    except OSError:
+        return False
+    try:
+        probe.bind(("::1", 0))
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+@pytest.mark.skipif(not _ipv6_loopback_available(),
+                    reason="no IPv6 loopback on this host")
+class TestIPv6EndToEnd:
+    def test_serve_worker_over_ipv6_loopback(self):
+        """A --serve worker bound to [::1] completes a real sweep."""
+        import subprocess
+        import sys
+
+        from repro.exec import MonteCarloPlan, RemoteExecutor, run_plan
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--serve", "[::1]:0", "--once"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            address = process.stdout.readline().split()[-1]
+            assert address.startswith("[")
+            plan = MonteCarloPlan(task=_unit_value, units=tuple(range(6)),
+                                  seed=3)
+            reference = run_plan(plan, executor="serial")
+            executor = RemoteExecutor(hosts=[address], connect_timeout=5.0)
+            try:
+                assert run_plan(plan, executor=executor) == reference
+            finally:
+                executor.close()
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _unit_value(unit, rng):
+    return float(unit) + float(rng.random())
